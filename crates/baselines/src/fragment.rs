@@ -1,0 +1,209 @@
+//! Serialized-improvement emulation of the Blin–Butelle distributed MDST
+//! (the paper's reference \[3\]).
+//!
+//! \[3\] maintains fragment membership information and performs improvements
+//! *one at a time* — after each swap the fragment bookkeeping must be
+//! globally refreshed before the next improvement starts. The IPDPS 2009
+//! paper's key comparative claim is that its fundamental-cycle approach can
+//! instead reduce **all** maximum-degree nodes concurrently in one wave.
+//!
+//! We emulate \[3\] at phase granularity: each *phase* performs exactly one
+//! improvement (one swap) and then pays a full refresh. The concurrent
+//! protocol's phase count is compared against this in experiment F3. This is
+//! a behavioural model, not a message-level port of \[3\] (whose full GHS-style
+//! machinery is out of scope); DESIGN.md records the substitution.
+
+use crate::fuerer_raghavachari::FrStats;
+use ssmdst_graph::{Graph, NodeId, SpanningTree};
+use std::collections::HashSet;
+
+/// Outcome of the serialized run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SerializedStats {
+    /// Improvement phases executed (== swaps, by construction).
+    pub phases: u64,
+    /// Rounds charged: each phase costs `O(diameter)` for the refresh plus
+    /// `O(cycle length)` for the swap; we charge `refresh_cost` per phase.
+    pub charged_rounds: u64,
+}
+
+/// Run one-improvement-per-phase local search to the same fixed point as
+/// [`crate::fr_mdst`], charging `refresh_cost` rounds per phase (callers
+/// pass the graph diameter or `n`).
+pub fn serialized_mdst(
+    g: &Graph,
+    initial: SpanningTree,
+    refresh_cost: u64,
+) -> (SpanningTree, SerializedStats) {
+    let mut t = initial;
+    let mut stats = SerializedStats::default();
+    loop {
+        if !one_improvement(g, &mut t) {
+            return (t, stats);
+        }
+        stats.phases += 1;
+        stats.charged_rounds += refresh_cost;
+    }
+}
+
+/// Apply a single improvement (direct or one-level cascade) to some
+/// maximum-degree node; `true` if a swap happened.
+fn one_improvement(g: &Graph, t: &mut SpanningTree) -> bool {
+    let k = t.max_degree();
+    if k <= 2 {
+        return false;
+    }
+    for w in t.max_degree_nodes() {
+        let mut visited = HashSet::new();
+        let mut stats = FrStats::default();
+        if reduce_once(g, t, w, 0, &mut visited, &mut stats) {
+            return true;
+        }
+    }
+    false
+}
+
+/// One reduction attempt for `w` — same cascade as the FR baseline but
+/// stopping after the first successful swap chain.
+fn reduce_once(
+    g: &Graph,
+    t: &mut SpanningTree,
+    w: NodeId,
+    depth: u32,
+    visited: &mut HashSet<NodeId>,
+    stats: &mut FrStats,
+) -> bool {
+    // Reuse the FR cascade by delegating to its (private) logic via a local
+    // re-implementation kept intentionally identical in guard structure.
+    if !visited.insert(w) {
+        return false;
+    }
+    let target_deg = t.degree_of(w);
+    if target_deg < 2 {
+        return false;
+    }
+    let mut blocked: Vec<(NodeId, NodeId)> = Vec::new();
+    for &(u, v) in g.edges() {
+        if t.is_tree_edge(u, v) || u == w || v == w {
+            continue;
+        }
+        let path = t.tree_path(u, v);
+        if !path.contains(&w) {
+            continue;
+        }
+        let (du, dv) = (t.degree_of(u), t.degree_of(v));
+        if du.max(dv) + 2 <= target_deg {
+            swap_at(t, (u, v), w, &path);
+            stats.swaps += 1;
+            return true;
+        }
+        if du.max(dv) + 1 == target_deg {
+            blocked.push((u, v));
+        }
+    }
+    if depth as usize >= g.n() {
+        return false;
+    }
+    for (u, v) in blocked {
+        if t.is_tree_edge(u, v) {
+            continue;
+        }
+        let path = t.tree_path(u, v);
+        if !path.contains(&w) {
+            continue;
+        }
+        for b in [u, v] {
+            if t.degree_of(b) + 1 != target_deg {
+                continue;
+            }
+            if !reduce_once(g, t, b, depth + 1, visited, stats) {
+                continue;
+            }
+            if t.is_tree_edge(u, v) {
+                break;
+            }
+            let path = t.tree_path(u, v);
+            if !path.contains(&w) {
+                break;
+            }
+            if t.degree_of(u).max(t.degree_of(v)) + 2 <= t.degree_of(w) {
+                swap_at(t, (u, v), w, &path);
+                stats.swaps += 1;
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn swap_at(t: &mut SpanningTree, e: (NodeId, NodeId), w: NodeId, path: &[NodeId]) {
+    let i = path.iter().position(|&x| x == w).expect("w on path");
+    let left = if i > 0 { Some(path[i - 1]) } else { None };
+    let right = if i + 1 < path.len() {
+        Some(path[i + 1])
+    } else {
+        None
+    };
+    let z = match (left, right) {
+        (Some(a), Some(b)) => {
+            if (t.degree_of(a), a) >= (t.degree_of(b), b) {
+                a
+            } else {
+                b
+            }
+        }
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => unreachable!(),
+    };
+    t.swap(e, (w, z));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple_trees::bfs_spanning_tree;
+    use ssmdst_graph::generators::structured;
+
+    #[test]
+    fn serialized_reaches_low_degree() {
+        let g = structured::star_with_ring(12).unwrap();
+        let t0 = bfs_spanning_tree(&g, 0).unwrap();
+        let (t, stats) = serialized_mdst(&g, t0, 10);
+        assert!(t.max_degree() <= 3);
+        assert!(stats.phases >= 8);
+        assert_eq!(stats.charged_rounds, stats.phases * 10);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn phase_count_equals_swap_count_semantics() {
+        // Every phase performs exactly one swap: phases == number of
+        // improvements needed, which for star-with-ring is hub_degree - Δ*-ish.
+        let g = structured::star_with_ring(10).unwrap();
+        let t0 = bfs_spanning_tree(&g, 0).unwrap();
+        let before = t0.max_degree();
+        let (t, stats) = serialized_mdst(&g, t0, 1);
+        assert!(stats.phases as u32 >= before - t.max_degree());
+    }
+
+    #[test]
+    fn fixed_point_matches_fr_quality() {
+        let g = structured::complete(9).unwrap();
+        let t0 = bfs_spanning_tree(&g, 0).unwrap();
+        let (t_ser, _) = serialized_mdst(&g, t0.clone(), 1);
+        let (t_fr, _) = crate::fr_mdst(&g, t0);
+        // Both must land within one of optimal (Δ* = 2 for K_9).
+        assert!(t_ser.max_degree() <= 3);
+        assert!(t_fr.max_degree() <= 3);
+    }
+
+    #[test]
+    fn no_improvement_on_path() {
+        let g = structured::path(8).unwrap();
+        let t0 = bfs_spanning_tree(&g, 0).unwrap();
+        let (t, stats) = serialized_mdst(&g, t0, 5);
+        assert_eq!(stats.phases, 0);
+        assert_eq!(t.max_degree(), 2);
+    }
+}

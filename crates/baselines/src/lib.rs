@@ -1,0 +1,24 @@
+//! # ssmdst-baselines
+//!
+//! Baseline algorithms the experiment suite compares the self-stabilizing
+//! protocol against:
+//!
+//! * [`fuerer_raghavachari`] — the sequential `Δ* + 1` local-improvement
+//!   algorithm (FR, SODA'92 / J.Alg.'94) that the paper's distributed
+//!   protocol emulates. Gold standard for final tree quality.
+//! * [`fragment`] — a phase-level emulation of the Blin–Butelle distributed
+//!   MDST (the paper's \[3\]), which serializes improvements; used to
+//!   quantify the concurrency advantage the paper claims (experiment F3).
+//! * [`simple_trees`] — BFS / DFS / random / greedy spanning trees: the
+//!   naive baselines and initial trees.
+
+pub mod fragment;
+pub mod fuerer_raghavachari;
+pub mod simple_trees;
+
+pub use fragment::{serialized_mdst, SerializedStats};
+pub use fuerer_raghavachari::{fr_mdst, FrStats};
+pub use simple_trees::{
+    best_of_random, bfs_spanning_tree, dfs_spanning_tree, greedy_min_degree_tree,
+    random_spanning_tree, wilson_spanning_tree,
+};

@@ -1,0 +1,316 @@
+//! Naive spanning-tree baselines: BFS, random (Kruskal on shuffled edges),
+//! DFS and a greedy degree-aware heuristic.
+//!
+//! These are the "arbitrary spanning trees" the degree-reduction module
+//! starts from, and the comparison points for experiment T5: the gap between
+//! `deg(BFS tree)` and `deg(MDST)` is exactly what the paper's algorithm
+//! closes.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ssmdst_graph::{Graph, GraphError, NodeId, SpanningTree, UnionFind};
+
+/// BFS spanning tree rooted at `root` — what the paper's spanning-tree
+/// module (rules R1/R2) converges to when `root` is the minimum ID.
+pub fn bfs_spanning_tree(g: &Graph, root: NodeId) -> Result<SpanningTree, GraphError> {
+    SpanningTree::from_bfs(g, root)
+}
+
+/// Uniform-ish random spanning tree: Kruskal over a shuffled edge list.
+/// (Not exactly uniform over all spanning trees, but unbiased enough to act
+/// as an "arbitrary initial tree".)
+pub fn random_spanning_tree(g: &Graph, seed: u64) -> Result<SpanningTree, GraphError> {
+    if g.n() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+    edges.shuffle(&mut rng);
+    let mut uf = UnionFind::new(g.n());
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
+    for (u, v) in edges {
+        if uf.union(u, v) {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+    }
+    if uf.components() != 1 {
+        return Err(GraphError::Disconnected);
+    }
+    parents_from_adj(g, &adj, 0)
+}
+
+/// Depth-first spanning tree rooted at `root`: tends to produce long paths
+/// (low degree) on dense graphs — a surprisingly strong naive baseline.
+pub fn dfs_spanning_tree(g: &Graph, root: NodeId) -> Result<SpanningTree, GraphError> {
+    if g.n() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut parent = vec![u32::MAX; g.n()];
+    // Parents are assigned at *pop* time: that is what makes this a true
+    // DFS tree (long paths) rather than a BFS-like star on dense graphs.
+    let mut stack = vec![(root, root)];
+    while let Some((v, p)) = stack.pop() {
+        if parent[v as usize] != u32::MAX {
+            continue;
+        }
+        parent[v as usize] = p;
+        for &w in g.neighbors(v).iter().rev() {
+            if parent[w as usize] == u32::MAX {
+                stack.push((w, v));
+            }
+        }
+    }
+    if parent.contains(&u32::MAX) {
+        return Err(GraphError::Disconnected);
+    }
+    SpanningTree::from_parents(g, root, parent)
+}
+
+/// Greedy degree-aware tree: Kruskal, but always take the candidate edge
+/// whose endpoints currently have the smallest combined tree degree.
+/// A classic heuristic that often lands within 1–2 of `Δ*` without any
+/// improvement machinery; used as a "cheap competitor" in T5.
+pub fn greedy_min_degree_tree(g: &Graph, seed: u64) -> Result<SpanningTree, GraphError> {
+    if g.n() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut uf = UnionFind::new(g.n());
+    let mut deg = vec![0u32; g.n()];
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); g.n()];
+    let mut remaining: Vec<(NodeId, NodeId)> = g.edges().to_vec();
+    remaining.shuffle(&mut rng); // random tie-breaking
+    let mut picked = 0usize;
+    while picked + 1 < g.n() {
+        // Pick the usable edge minimizing (max endpoint degree, sum).
+        let mut best: Option<(usize, (u32, u32))> = None;
+        for (i, &(u, v)) in remaining.iter().enumerate() {
+            if uf.find(u) == uf.find(v) {
+                continue;
+            }
+            let du = deg[u as usize];
+            let dv = deg[v as usize];
+            let key = (du.max(dv), du + dv);
+            if best.map(|(_, bk)| key < bk).unwrap_or(true) {
+                best = Some((i, key));
+            }
+        }
+        let Some((i, _)) = best else {
+            return Err(GraphError::Disconnected);
+        };
+        let (u, v) = remaining.swap_remove(i);
+        uf.union(u, v);
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+        adj[u as usize].push(v);
+        adj[v as usize].push(u);
+        picked += 1;
+    }
+    parents_from_adj(g, &adj, 0)
+}
+
+/// Exactly-uniform random spanning tree via Wilson's algorithm
+/// (loop-erased random walks). Unlike [`random_spanning_tree`] (shuffled
+/// Kruskal, biased toward low-degree shapes on dense graphs), Wilson
+/// samples uniformly over *all* spanning trees — the statistically honest
+/// "arbitrary initial tree" for averaged experiments.
+pub fn wilson_spanning_tree(g: &Graph, seed: u64) -> Result<SpanningTree, GraphError> {
+    if g.n() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = g.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let root: NodeId = 0;
+    let mut in_tree = vec![false; n];
+    let mut parent = vec![u32::MAX; n];
+    in_tree[root as usize] = true;
+    parent[root as usize] = root;
+    // `next[v]` is the current successor recorded by the random walk; the
+    // loop erasure happens implicitly because later visits overwrite it.
+    let mut next = vec![u32::MAX; n];
+    for start in 0..n as u32 {
+        if in_tree[start as usize] {
+            continue;
+        }
+        // Random walk from `start` until the tree is hit.
+        let mut v = start;
+        let mut steps = 0usize;
+        while !in_tree[v as usize] {
+            let nbrs = g.neighbors(v);
+            if nbrs.is_empty() {
+                return Err(GraphError::Disconnected);
+            }
+            let w = nbrs[rng.random_range(0..nbrs.len())];
+            next[v as usize] = w;
+            v = w;
+            steps += 1;
+            if steps > 200 * n * n {
+                // Cover-time safeguard; only reachable on disconnected
+                // inputs (the walk can never hit the tree).
+                return Err(GraphError::Disconnected);
+            }
+        }
+        // Replay the loop-erased walk into the tree.
+        let mut v = start;
+        while !in_tree[v as usize] {
+            let w = next[v as usize];
+            parent[v as usize] = w;
+            in_tree[v as usize] = true;
+            v = w;
+        }
+    }
+    SpanningTree::from_parents(g, root, parent)
+}
+
+/// Best-of-k random trees: the cheapest randomized baseline — draw `k`
+/// random spanning trees and keep the one with the smallest maximum degree.
+/// Quantifies how much of the MDST problem pure sampling solves (it
+/// improves quickly for tiny `k`, then plateaus well above `Δ* + 1` on
+/// graphs whose good trees are rare — see the unit tests).
+pub fn best_of_random(g: &Graph, k: usize, seed: u64) -> Result<SpanningTree, GraphError> {
+    if k == 0 {
+        return Err(GraphError::InvalidParameter("best_of_random: k must be >= 1"));
+    }
+    let mut best: Option<SpanningTree> = None;
+    for i in 0..k {
+        let t = random_spanning_tree(g, seed.wrapping_add(i as u64))?;
+        if best
+            .as_ref()
+            .map(|b| t.max_degree() < b.max_degree())
+            .unwrap_or(true)
+        {
+            best = Some(t);
+        }
+    }
+    Ok(best.expect("k >= 1"))
+}
+
+/// Root an undirected tree adjacency at `root` into a [`SpanningTree`].
+fn parents_from_adj(
+    g: &Graph,
+    adj: &[Vec<NodeId>],
+    root: NodeId,
+) -> Result<SpanningTree, GraphError> {
+    let mut parent = vec![u32::MAX; g.n()];
+    parent[root as usize] = root;
+    let mut stack = vec![root];
+    while let Some(v) = stack.pop() {
+        for &w in &adj[v as usize] {
+            if parent[w as usize] == u32::MAX {
+                parent[w as usize] = v;
+                stack.push(w);
+            }
+        }
+    }
+    if parent.contains(&u32::MAX) {
+        return Err(GraphError::Disconnected);
+    }
+    SpanningTree::from_parents(g, root, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmdst_graph::generators::{gadgets, structured};
+
+    #[test]
+    fn bfs_tree_on_star_ring_has_hub_degree() {
+        let g = structured::star_with_ring(10).unwrap();
+        let t = bfs_spanning_tree(&g, 0).unwrap();
+        // BFS from the hub keeps all spokes: the pathological case.
+        assert_eq!(t.max_degree(), 9);
+    }
+
+    #[test]
+    fn random_tree_is_valid_and_seeded() {
+        let g = gadgets::hamiltonian_with_chords(20, 25, 3);
+        let a = random_spanning_tree(&g, 5).unwrap();
+        let b = random_spanning_tree(&g, 5).unwrap();
+        a.validate(&g).unwrap();
+        assert_eq!(a.edge_set(), b.edge_set());
+        let c = random_spanning_tree(&g, 6).unwrap();
+        assert_ne!(a.edge_set(), c.edge_set());
+    }
+
+    #[test]
+    fn dfs_tree_on_complete_graph_is_a_path() {
+        let g = structured::complete(8).unwrap();
+        let t = dfs_spanning_tree(&g, 0).unwrap();
+        assert_eq!(t.max_degree(), 2);
+        t.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn greedy_tree_beats_bfs_on_star_ring() {
+        let g = structured::star_with_ring(12).unwrap();
+        let bfs = bfs_spanning_tree(&g, 0).unwrap();
+        let greedy = greedy_min_degree_tree(&g, 1).unwrap();
+        greedy.validate(&g).unwrap();
+        assert!(greedy.max_degree() < bfs.max_degree());
+        assert!(greedy.max_degree() <= 3);
+    }
+
+    #[test]
+    fn disconnected_graph_is_rejected() {
+        let g = ssmdst_graph::graph::graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(random_spanning_tree(&g, 0).is_err());
+        assert!(dfs_spanning_tree(&g, 0).is_err());
+        assert!(greedy_min_degree_tree(&g, 0).is_err());
+    }
+
+    #[test]
+    fn wilson_tree_is_valid_and_seeded() {
+        let g = structured::star_with_ring(12).unwrap();
+        let a = wilson_spanning_tree(&g, 3).unwrap();
+        let b = wilson_spanning_tree(&g, 3).unwrap();
+        a.validate(&g).unwrap();
+        assert_eq!(a.edge_set(), b.edge_set());
+        let c = wilson_spanning_tree(&g, 4).unwrap();
+        assert_ne!(a.edge_set(), c.edge_set());
+    }
+
+    #[test]
+    fn wilson_on_cycle_graph_is_near_uniform() {
+        // C_5 has exactly 5 spanning trees (drop any one edge). Over many
+        // seeds every tree must appear — a coarse uniformity smoke test.
+        let g = structured::cycle(5).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            let t = wilson_spanning_tree(&g, seed).unwrap();
+            seen.insert(t.edge_set());
+        }
+        assert_eq!(seen.len(), 5, "missed some spanning trees of C_5");
+    }
+
+    #[test]
+    fn wilson_rejects_disconnected() {
+        let g = ssmdst_graph::graph::graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(wilson_spanning_tree(&g, 0).is_err());
+    }
+
+    #[test]
+    fn best_of_random_improves_with_k() {
+        let g = structured::complete(10).unwrap();
+        let one = best_of_random(&g, 1, 7).unwrap();
+        let many = best_of_random(&g, 50, 7).unwrap();
+        assert!(many.max_degree() <= one.max_degree());
+        many.validate(&g).unwrap();
+        assert!(best_of_random(&g, 0, 7).is_err());
+    }
+
+    #[test]
+    fn all_baselines_span_the_same_node_set() {
+        let g = structured::grid(4, 4).unwrap();
+        for t in [
+            bfs_spanning_tree(&g, 0).unwrap(),
+            random_spanning_tree(&g, 2).unwrap(),
+            dfs_spanning_tree(&g, 3).unwrap(),
+            greedy_min_degree_tree(&g, 4).unwrap(),
+        ] {
+            t.validate(&g).unwrap();
+            assert_eq!(t.edge_set().len(), 15);
+        }
+    }
+}

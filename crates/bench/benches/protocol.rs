@@ -1,0 +1,92 @@
+//! End-to-end protocol benchmarks: wall-clock cost of full convergence on
+//! the experiment workloads (the Criterion companion to tables T1/T2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssmdst_bench::run_instance;
+use ssmdst_core::Config;
+use ssmdst_graph::generators::{structured, GraphFamily};
+use ssmdst_sim::Scheduler;
+use std::hint::black_box;
+
+fn bench_convergence_by_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convergence");
+    g.sample_size(10);
+    for fam in [
+        GraphFamily::GnpSparse,
+        GraphFamily::ScaleFree,
+        GraphFamily::HamiltonianChords,
+    ] {
+        let graph = fam.generate(16, 1);
+        g.bench_with_input(
+            BenchmarkId::new("family", fam.label()),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let (res, _) = run_instance(
+                        black_box(graph),
+                        Config::for_n(graph.n()),
+                        Scheduler::Synchronous,
+                        100_000,
+                    );
+                    assert!(res.converged);
+                    res.conv_round
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_convergence_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convergence-scaling");
+    g.sample_size(10);
+    for n in [8usize, 16, 24] {
+        let graph = structured::star_with_ring(n).unwrap();
+        g.bench_with_input(BenchmarkId::new("star-ring", n), &graph, |b, graph| {
+            b.iter(|| {
+                let (res, _) = run_instance(
+                    black_box(graph),
+                    Config::for_n(graph.n()),
+                    Scheduler::Synchronous,
+                    200_000,
+                );
+                assert!(res.converged);
+                res.conv_round
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    let graph = GraphFamily::GnpSparse.generate(16, 1);
+    for (label, sched) in [
+        ("synchronous", Scheduler::Synchronous),
+        ("random-async", Scheduler::RandomAsync { seed: 1 }),
+        ("adversarial", Scheduler::Adversarial { seed: 1 }),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let (res, _) = run_instance(
+                    black_box(&graph),
+                    Config::for_n(graph.n()),
+                    sched,
+                    200_000,
+                );
+                assert!(res.converged);
+                res.conv_round
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_convergence_by_family,
+    bench_convergence_scaling,
+    bench_schedulers
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Substrate benchmarks: generators, exact solver, lower bounds and the
+//! centralized baselines (backing tables T1/T5's ground-truth columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssmdst_baselines::{bfs_spanning_tree, fr_mdst, greedy_min_degree_tree};
+use ssmdst_graph::generators::GraphFamily;
+use ssmdst_graph::{degree_lower_bound, exact_mdst, SolveBudget};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    for fam in GraphFamily::all() {
+        g.bench_with_input(BenchmarkId::new("generate", fam.label()), fam, |b, fam| {
+            b.iter(|| fam.generate(black_box(64), 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact-mdst");
+    g.sample_size(10);
+    for n in [10usize, 14] {
+        let graph = GraphFamily::GnpDense.generate(n, 1);
+        g.bench_with_input(BenchmarkId::new("gnp-dense", n), &graph, |b, graph| {
+            b.iter(|| exact_mdst(black_box(graph), SolveBudget::default()).lower())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let graph = GraphFamily::GnpSparse.generate(64, 1);
+    c.bench_function("degree-lower-bound-n64", |b| {
+        b.iter(|| degree_lower_bound(black_box(&graph)))
+    });
+}
+
+fn bench_fr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fuerer-raghavachari");
+    g.sample_size(10);
+    for n in [32usize, 64] {
+        let graph = GraphFamily::ScaleFree.generate(n, 1);
+        let t0 = bfs_spanning_tree(&graph, 0).unwrap();
+        g.bench_with_input(BenchmarkId::new("scale-free", n), &graph, |b, graph| {
+            b.iter(|| fr_mdst(black_box(graph), t0.clone()).0.max_degree())
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let graph = GraphFamily::GnpDense.generate(48, 1);
+    c.bench_function("greedy-min-degree-n48", |b| {
+        b.iter(|| greedy_min_degree_tree(black_box(&graph), 1).unwrap().max_degree())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_generators,
+    bench_exact_solver,
+    bench_lower_bound,
+    bench_fr,
+    bench_greedy
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Experiment driver: regenerates every table/figure of DESIGN.md §3.
+//!
+//! ```text
+//! cargo run --release -p ssmdst-bench --bin experiments -- all
+//! cargo run --release -p ssmdst-bench --bin experiments -- t1 f2 --quick
+//! ```
+
+use ssmdst_bench::experiments as ex;
+use ssmdst_bench::{Profile, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let profile = if quick {
+        Profile::quick()
+    } else {
+        Profile::full()
+    };
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.to_lowercase())
+        .collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = [
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    println!(
+        "# ssmdst experiment suite ({})",
+        if quick { "quick profile" } else { "full profile" }
+    );
+    for id in ids {
+        let (title, table): (&str, Table) = match id.as_str() {
+            "t1" => ("T1 — degree quality (Thm 2: deg ≤ Δ*+1)", ex::t1_degree_quality(&profile)),
+            "t2" => ("T2 — convergence rounds vs O(m·n²·lg n) (Lemma 5)", ex::t2_convergence(&profile)),
+            "t3" => ("T3 — message complexity by kind", ex::t3_messages(&profile)),
+            "t4" => ("T4 — memory per node vs O(δ·lg n) (Lemma 5)", ex::t4_memory(&profile)),
+            "t5" => ("T5 — baseline comparison", ex::t5_baselines(&profile)),
+            "f1" => ("F1 — convergence trajectory", ex::f1_trajectory(&profile)),
+            "f2" => ("F2 — transient-fault recovery (Def. 1)", ex::f2_fault_recovery(&profile)),
+            "f3" => ("F3 — concurrent improvements vs serialized [3]", ex::f3_concurrency(&profile)),
+            "f4" => ("F4 — scheduler sensitivity", ex::f4_schedulers(&profile)),
+            "f5" => ("F5 — max message length vs O(n·lg n)", ex::f5_message_length(&profile)),
+            "a1" => ("A1 — ablation: strict vs gentle distance repair", ex::a1_strict_vs_gentle(&profile)),
+            "a2" => ("A2 — ablation: Deblock disabled", ex::a2_deblock(&profile)),
+            "a3" => ("A3 — ablation: busy latch disabled", ex::a3_busy_latch(&profile)),
+            other => {
+                eprintln!("unknown experiment id: {other}");
+                continue;
+            }
+        };
+        println!("\n## {title}\n");
+        print!("{table}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Single-instance experiment driver: run the protocol on one graph and
+//! collect everything the tables need.
+
+use ssmdst_core::{build_network, oracle, Config, MdstNode};
+use ssmdst_graph::Graph;
+use ssmdst_sim::{Runner, Scheduler};
+
+/// Everything measured from one protocol run.
+#[derive(Debug, Clone)]
+pub struct InstanceResult {
+    /// Nodes and edges of the instance.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Whether the run reached quiescence before the round cap.
+    pub converged: bool,
+    /// Round at which the final configuration was first reached (total
+    /// rounds minus the quiescence confirmation window).
+    pub conv_round: u64,
+    /// Final tree degree (`None` if the terminal state is not a tree —
+    /// never observed for converged runs, but reported honestly).
+    pub final_degree: Option<u32>,
+    /// Total messages sent.
+    pub total_msgs: u64,
+    /// Messages by kind: (kind, sent, max size bits).
+    pub msgs_by_kind: Vec<(&'static str, u64, usize)>,
+    /// Largest message observed, in bits.
+    pub max_msg_bits: usize,
+    /// Peak number of undelivered messages.
+    pub peak_in_flight: usize,
+    /// Degree-trajectory samples: (round, deg(T)) at every change.
+    pub trajectory: Vec<(u64, u32)>,
+    /// Maximum number of distinct maximum-degree nodes whose degree dropped
+    /// within a single round (the concurrency measure of experiment F3).
+    pub max_simultaneous_drops: usize,
+}
+
+/// Quiescence window used everywhere: long enough that a pending search
+/// wave (period 2n) plus an improvement (≤ 2n hops) cannot hide inside it.
+pub fn quiet_window(n: usize) -> u64 {
+    (6 * n as u64).max(64)
+}
+
+/// Run the protocol on `g` until quiescence (or `max_rounds`), recording
+/// trajectory and concurrency statistics. Returns the result and the final
+/// runner for ad-hoc inspection (e.g. fault-injection follow-ups).
+pub fn run_instance(
+    g: &Graph,
+    cfg: Config,
+    sched: Scheduler,
+    max_rounds: u64,
+) -> (InstanceResult, Runner<MdstNode>) {
+    let net = build_network(g, cfg);
+    let mut runner = Runner::new(net, sched);
+    let res = run_more(g, &mut runner, max_rounds);
+    (res, runner)
+}
+
+/// Continue running an existing network until quiescence — used after
+/// fault injection to measure recovery in isolation.
+pub fn run_more(g: &Graph, runner: &mut Runner<MdstNode>, max_rounds: u64) -> InstanceResult {
+    let n = g.n();
+    let quiet = quiet_window(n);
+    let start_round = runner.round();
+
+    let mut trajectory: Vec<(u64, u32)> = Vec::new();
+    let mut last_deg: Option<u32> = None;
+    let mut prev_degrees: Option<Vec<u32>> = None;
+    let mut max_simdrops = 0usize;
+    let mut last_proj = oracle::projection(runner.network());
+    let mut quiet_for = 0u64;
+
+    let out = runner.run_until(max_rounds, |net, round| {
+        // Trajectory + concurrency bookkeeping.
+        let tree = oracle::try_extract_tree(g, net);
+        let deg = tree.as_ref().map(|t| t.max_degree());
+        if deg != last_deg {
+            if let Some(d) = deg {
+                trajectory.push((round, d));
+            }
+            last_deg = deg;
+        }
+        if let Some(t) = &tree {
+            let degs = t.degrees();
+            if let Some(prev) = &prev_degrees {
+                let k = *prev.iter().max().unwrap_or(&0);
+                let drops = prev
+                    .iter()
+                    .zip(degs.iter())
+                    .filter(|&(&p, &c)| p == k && c < p)
+                    .count();
+                if drops > max_simdrops {
+                    max_simdrops = drops;
+                }
+            }
+            prev_degrees = Some(degs);
+        } else {
+            prev_degrees = None;
+        }
+        // Quiescence detection on the full projection.
+        let proj = oracle::projection(net);
+        if proj == last_proj {
+            quiet_for += 1;
+        } else {
+            quiet_for = 0;
+            last_proj = proj;
+        }
+        quiet_for >= quiet
+    });
+
+    let metrics = &runner.network().metrics;
+    let msgs_by_kind = metrics
+        .kinds()
+        .map(|(k, s)| (k, s.sent, s.max_size_bits))
+        .collect();
+    InstanceResult {
+        n,
+        m: g.m(),
+        converged: out.converged(),
+        conv_round: (runner.round() - start_round).saturating_sub(if out.converged() {
+            quiet
+        } else {
+            0
+        }),
+        final_degree: oracle::current_degree(g, runner.network()),
+        total_msgs: metrics.total_sent,
+        msgs_by_kind,
+        max_msg_bits: metrics.max_message_bits(),
+        peak_in_flight: metrics.peak_in_flight,
+        trajectory,
+        max_simultaneous_drops: max_simdrops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmdst_graph::generators::structured;
+
+    #[test]
+    fn star_with_ring_instance_end_to_end() {
+        let g = structured::star_with_ring(8).unwrap();
+        let (res, _) = run_instance(
+            &g,
+            Config::for_n(8),
+            Scheduler::Synchronous,
+            20_000,
+        );
+        assert!(res.converged);
+        assert_eq!(res.final_degree, Some(3).min(res.final_degree)); // ≤ 3
+        assert!(res.final_degree.unwrap() <= 3);
+        assert!(res.total_msgs > 0);
+        assert!(res.max_msg_bits > 0);
+        // Trajectory must be non-trivial: the hub degree descends.
+        assert!(res.trajectory.len() >= 3);
+        let first = res.trajectory.first().unwrap().1;
+        let last = res.trajectory.last().unwrap().1;
+        assert!(first > last);
+    }
+
+    #[test]
+    fn conv_round_excludes_quiet_window() {
+        let g = structured::path(6).unwrap();
+        let (res, _) = run_instance(&g, Config::for_n(6), Scheduler::Synchronous, 5_000);
+        assert!(res.converged);
+        // A path stabilizes in O(n) rounds; the window must not be charged.
+        assert!(res.conv_round < 100, "conv_round = {}", res.conv_round);
+    }
+
+    #[test]
+    fn run_more_measures_recovery_separately() {
+        let g = structured::star_with_ring(8).unwrap();
+        let (first, mut runner) =
+            run_instance(&g, Config::for_n(8), Scheduler::Synchronous, 20_000);
+        assert!(first.converged);
+        ssmdst_sim::faults::inject(
+            runner.network_mut(),
+            ssmdst_sim::faults::FaultPlan::partial(0.4, 3),
+        );
+        let second = run_more(&g, &mut runner, 20_000);
+        assert!(second.converged);
+        assert!(second.final_degree.unwrap() <= 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ssmdst-bench
+//!
+//! Experiment harness for the IPDPS 2009 self-stabilizing MDST
+//! reproduction. The paper is theory-only, so the "tables and figures" are
+//! its claims turned into measurements (DESIGN.md §3):
+//!
+//! | id | claim |
+//! |----|-------|
+//! | T1 | `deg(T) ≤ Δ* + 1` (Theorem 2) |
+//! | T2 | convergence in `O(m n² log n)` rounds (Lemma 5) |
+//! | T3 | message complexity breakdown |
+//! | T4 | `O(δ log n)` bits per node (Lemma 5) |
+//! | T5 | final quality vs baselines (FR, BFS, DFS, random, greedy) |
+//! | F1 | degree-reduction trajectory |
+//! | F2 | recovery from transient faults (Definition 1) |
+//! | F3 | simultaneous improvements vs the serialized \[3\] |
+//! | F4 | convergence under any fair daemon |
+//! | F5 | `O(n log n)` maximum message length |
+//! | A1 | ablation: strict vs gentle distance repair |
+//! | A2 | ablation: Deblock on/off |
+//!
+//! Run `cargo run --release -p ssmdst-bench --bin experiments -- all` to
+//! print everything; Criterion micro-benchmarks live in `benches/`.
+
+pub mod experiments;
+pub mod instance;
+pub mod table;
+
+pub use experiments::Profile;
+pub use instance::{run_instance, run_more, InstanceResult};
+pub use table::Table;

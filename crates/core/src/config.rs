@@ -1,0 +1,110 @@
+//! Protocol configuration and ablation switches.
+
+/// Tunables of the protocol. Every deviation knob corresponds to an ablation
+/// in DESIGN.md (A1, A2) or a throttle with a paper-faithful default.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Ticks between successive `Search` launches for the same non-tree
+    /// edge. The paper's do-forever loop relaunches continuously; a period
+    /// keeps simulated traffic finite without changing reachable
+    /// configurations. Should scale like Θ(n) so a token finishes (a DFS
+    /// over the tree takes ≤ 2(n−1) hops) before its successor starts.
+    pub search_period: u32,
+
+    /// Ablation **A1**: `true` replays the paper's strict rule R2 — any
+    /// distance incoherence makes the node a new-root candidate and resets
+    /// it. `false` (default) repairs a pure distance incoherence in place
+    /// (`distance ← distance_parent + 1`), which is also self-stabilizing
+    /// and avoids tearing the tree down after every edge reversal.
+    pub strict_distance_reset: bool,
+
+    /// Ablation **A2**: enable the `Deblock` module. Without it the
+    /// protocol stops at the first blocked configuration and the
+    /// `Δ* + 1` guarantee degrades (measurably, see experiment A2).
+    pub enable_deblock: bool,
+
+    /// Recursion budget carried by `Deblock` chains (the paper's recursive
+    /// deblocking; the budget bounds churn from corrupted chains).
+    pub deblock_ttl: u8,
+
+    /// Ticks a node ignores repeated `Deblock` floods for the same blocking
+    /// node (throttle; floods are idempotent).
+    pub deblock_cooldown: u32,
+
+    /// Hard cap on path/visited lists carried in messages. Anything longer
+    /// is corrupt by definition (a tree path has ≤ n nodes) and is dropped.
+    pub max_path_len: usize,
+
+    /// Ablation **A3**: the busy latch serializing overlapping
+    /// improvements. Disabling it re-exposes the flip-crossing hazard
+    /// (crossing reversal arcs corrupt the tree and trigger re-election
+    /// storms); the experiment quantifies the damage.
+    pub enable_busy_latch: bool,
+}
+
+impl Config {
+    /// Default configuration scaled for an `n`-node network.
+    pub fn for_n(n: usize) -> Self {
+        Config {
+            search_period: (2 * n as u32).max(8),
+            strict_distance_reset: false,
+            enable_deblock: true,
+            deblock_ttl: 8,
+            deblock_cooldown: (2 * n as u32).max(8),
+            max_path_len: n + 1,
+            enable_busy_latch: true,
+        }
+    }
+
+    /// Paper-strict variant (ablation A1).
+    pub fn strict(n: usize) -> Self {
+        Config {
+            strict_distance_reset: true,
+            ..Config::for_n(n)
+        }
+    }
+
+    /// Deblock disabled (ablation A2).
+    pub fn without_deblock(n: usize) -> Self {
+        Config {
+            enable_deblock: false,
+            ..Config::for_n(n)
+        }
+    }
+
+    /// Busy latch disabled (ablation A3).
+    pub fn without_busy_latch(n: usize) -> Self {
+        Config {
+            enable_busy_latch: false,
+            ..Config::for_n(n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_scale_with_n() {
+        let c = Config::for_n(50);
+        assert_eq!(c.search_period, 100);
+        assert_eq!(c.max_path_len, 51);
+        assert!(c.enable_deblock);
+        assert!(!c.strict_distance_reset);
+    }
+
+    #[test]
+    fn small_n_gets_floors() {
+        let c = Config::for_n(2);
+        assert!(c.search_period >= 8);
+        assert!(c.deblock_cooldown >= 8);
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(Config::strict(10).strict_distance_reset);
+        assert!(!Config::without_deblock(10).enable_deblock);
+        assert!(Config::without_deblock(10).strict_distance_reset == false);
+    }
+}

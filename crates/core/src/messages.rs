@@ -1,0 +1,316 @@
+//! The protocol's message alphabet (paper §3.1 "Messages").
+//!
+//! | Paper message | Here | Purpose |
+//! |---|---|---|
+//! | `InfoMsg` | [`Msg::Info`] | gossip local variables to neighbors |
+//! | `Search` | [`Msg::Search`] | DFS token discovering a fundamental cycle |
+//! | `Remove` | [`Msg::Remove`] | delete a tree edge at a max-degree node |
+//! | `Remove` (continuation) / `Back` / `Reverse` | [`Msg::Flip`] | re-orient parents along the reversed cycle arc |
+//! | `Deblock` | [`Msg::Deblock`] | flood asking a blocking node's subtree for help |
+//! | `UpdateDist` | [`Msg::DistChain`], [`Msg::DistFlood`] | repair distances after a reversal |
+//!
+//! Sizes are accounted in bits with the paper's convention that IDs,
+//! degrees and distances cost `⌈log₂ n⌉` bits; the `path` lists make
+//! `Search`/`Remove` the `O(n log n)` messages of the paper's buffer-length
+//! analysis (experiment F5 measures exactly this).
+
+use crate::NodeId;
+use ssmdst_sim::Message;
+
+/// Payload of the periodic `InfoMsg` gossip: the sender's variables as
+/// mirrored by [`crate::state::NbrView`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InfoPayload {
+    /// Sender's root estimate.
+    pub root: NodeId,
+    /// Sender's parent pointer.
+    pub parent: NodeId,
+    /// Sender's distance estimate.
+    pub distance: u32,
+    /// Sender's `dmax`.
+    pub dmax: u32,
+    /// Sender's tree degree.
+    pub deg: u32,
+    /// Sender's PIF feedback value.
+    pub subtree_max: u32,
+    /// Sender's color bit.
+    pub color: bool,
+}
+
+/// One hop of a search path: `(node, its tree degree when visited)`.
+pub type PathEntry = (NodeId, u32);
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Periodic gossip of local variables (the send/receive-atomicity
+    /// refresh).
+    Info(InfoPayload),
+
+    /// DFS token looking for the fundamental cycle of the non-tree edge
+    /// `{init.0, init.1}` (`init.0` is the lower-ID initiator).
+    Search {
+        /// `(initiator a, target b)` endpoints of the non-tree edge.
+        init: (NodeId, NodeId),
+        /// Blocking node this search works for, with the remaining deblock
+        /// recursion budget (`None` for plain searches).
+        idblock: Option<(NodeId, u8)>,
+        /// `dmax` snapshot at launch; any hop seeing a different local
+        /// `dmax` discards the token as stale.
+        dmax: u32,
+        /// DFS stack: tree path from the initiator to the current holder,
+        /// with each node's degree at visit time.
+        path: Vec<PathEntry>,
+        /// All nodes ever visited (DFS "marked" set, carried in the token
+        /// so nodes stay stateless w.r.t. searches).
+        visited: Vec<NodeId>,
+        /// Whether this hop is a backtrack return to the stack top.
+        backtrack: bool,
+    },
+
+    /// Commit request: swap non-tree edge `{init.0, init.1}` in and tree
+    /// edge `target` out. Travels from the cycle-closing endpoint across
+    /// the non-tree edge and then along the cycle to the target edge.
+    Remove {
+        /// `(a, b)` endpoints of the edge being inserted.
+        init: (NodeId, NodeId),
+        /// Required tree degree of the commit node at commit time
+        /// (freshness: a stale request must not fire).
+        deg_max: u32,
+        /// Index into `cycle` of the maximum-degree node `w`. The message
+        /// commits *at `w` itself* so the degree check reads fresh local
+        /// state, never a (possibly stale) neighbor mirror.
+        w_idx: usize,
+        /// Index of the cycle-neighbor of `w` whose shared tree edge is
+        /// deleted (`w_idx ± 1`).
+        z_idx: usize,
+        /// Full cycle node sequence `[a, ..., b]` (tree path endpoints
+        /// inclusive).
+        cycle: Vec<NodeId>,
+        /// `dmax` snapshot at launch.
+        dmax: u32,
+        /// Distance of `a` (stamped by `a` as the message passes it).
+        dist_a: u32,
+        /// Distance of `b` (stamped at launch).
+        dist_b: u32,
+        /// Index into `cycle` of the node this hop is addressed to.
+        pos: usize,
+    },
+
+    /// Parent re-orientation along the reversed cycle arc after a commit
+    /// (the paper's `Remove`-continuation / `Back` / `Reverse` family).
+    /// Must always run to completion — dropping it would partition the
+    /// tree, so it carries no freshness guards.
+    Flip {
+        /// Cycle node sequence (same vector as the `Remove`).
+        cycle: Vec<NodeId>,
+        /// Index of the addressee in `cycle`.
+        pos: usize,
+        /// Walk direction: `+1` (toward `b`) or `-1` (toward `a`).
+        dir: i8,
+        /// Index at which the flip stops (the inserted-edge endpoint).
+        end: usize,
+        /// First index of the flipped arc (the cut-adjacent node); the
+        /// distance-repair chain walks back from `end` to here.
+        origin: usize,
+        /// Distance of the node the stop index will attach to (so the
+        /// terminal node can set its distance immediately).
+        anchor_dist: u32,
+        /// The node the terminal endpoint adopts as parent (the other
+        /// inserted-edge endpoint).
+        anchor: NodeId,
+    },
+
+    /// Distance repair along a freshly flipped arc; each recipient adopts
+    /// `dist + 1`, floods [`Msg::DistFlood`] into its off-path subtrees,
+    /// and forwards the chain.
+    DistChain {
+        /// Cycle node sequence.
+        cycle: Vec<NodeId>,
+        /// Addressee index in `cycle`.
+        pos: usize,
+        /// Walk direction along the cycle.
+        dir: i8,
+        /// Last index to update (inclusive).
+        end: usize,
+        /// Sender's (already corrected) distance.
+        dist: u32,
+    },
+
+    /// Subtree distance flood: recipient adopts `dist + 1` and forwards to
+    /// its children.
+    DistFlood {
+        /// Sender's distance.
+        dist: u32,
+    },
+
+    /// Flood announcing that `idblock` (tree degree `deg`, which is
+    /// `dmax − 1`) blocks an improvement; receivers launch searches on
+    /// `idblock`'s behalf and forward the flood through the tree.
+    Deblock {
+        /// The blocking node.
+        idblock: NodeId,
+        /// Remaining recursion budget for nested deblocking.
+        ttl: u8,
+        /// `dmax` snapshot at emission.
+        dmax: u32,
+    },
+}
+
+/// `⌈log₂ n⌉`, floored at 1 bit.
+fn id_bits(n: usize) -> usize {
+    (usize::BITS - n.max(2).saturating_sub(1).leading_zeros()) as usize
+}
+
+impl Message for Msg {
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::Info(_) => "InfoMsg",
+            Msg::Search { .. } => "Search",
+            Msg::Remove { .. } => "Remove",
+            Msg::Flip { .. } => "Flip",
+            Msg::DistChain { .. } => "DistChain",
+            Msg::DistFlood { .. } => "DistFlood",
+            Msg::Deblock { .. } => "Deblock",
+        }
+    }
+
+    fn size_bits(&self, n: usize) -> usize {
+        let b = id_bits(n);
+        match self {
+            // root, parent, distance, dmax, deg, subtree_max + color bit
+            Msg::Info(_) => 6 * b + 1,
+            Msg::Search {
+                path,
+                visited,
+                idblock,
+                ..
+            } => {
+                // init edge + dmax + optional idblock + flags
+                2 * b + b
+                    + idblock.map(|_| b).unwrap_or(1)
+                    + path.len() * 2 * b
+                    + visited.len() * b
+                    + 1
+            }
+            Msg::Remove { cycle, .. } => {
+                // init + deg_max + dmax + two distances + three indices +
+                // cycle
+                2 * b + b + b + 2 * b + 3 * b + cycle.len() * b
+            }
+            Msg::Flip { cycle, .. } => 4 * b + 2 + b + cycle.len() * b,
+            Msg::DistChain { cycle, .. } => 3 * b + 2 + cycle.len() * b,
+            Msg::DistFlood { .. } => b,
+            Msg::Deblock { .. } => 2 * b + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info() -> Msg {
+        Msg::Info(InfoPayload {
+            root: 0,
+            parent: 0,
+            distance: 0,
+            dmax: 0,
+            deg: 0,
+            subtree_max: 0,
+            color: false,
+        })
+    }
+
+    #[test]
+    fn kinds_are_distinct_labels() {
+        let msgs = vec![
+            info(),
+            Msg::Search {
+                init: (0, 1),
+                idblock: None,
+                dmax: 0,
+                path: vec![],
+                visited: vec![],
+                backtrack: false,
+            },
+            Msg::Remove {
+                init: (0, 1),
+                deg_max: 3,
+                w_idx: 1,
+                z_idx: 2,
+                cycle: vec![],
+                dmax: 3,
+                dist_a: 0,
+                dist_b: 0,
+                pos: 0,
+            },
+            Msg::Flip {
+                cycle: vec![],
+                pos: 0,
+                dir: 1,
+                end: 0,
+                origin: 0,
+                anchor_dist: 0,
+                anchor: 0,
+            },
+            Msg::DistChain {
+                cycle: vec![],
+                pos: 0,
+                dir: 1,
+                end: 0,
+                dist: 0,
+            },
+            Msg::DistFlood { dist: 0 },
+            Msg::Deblock {
+                idblock: 0,
+                ttl: 1,
+                dmax: 2,
+            },
+        ];
+        let mut kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), 7);
+    }
+
+    #[test]
+    fn info_size_is_o_log_n() {
+        let m = info();
+        assert_eq!(m.size_bits(16), 6 * 4 + 1);
+        assert_eq!(m.size_bits(1 << 20), 6 * 20 + 1);
+    }
+
+    #[test]
+    fn search_size_grows_linearly_with_path() {
+        let short = Msg::Search {
+            init: (0, 1),
+            idblock: None,
+            dmax: 2,
+            path: vec![(0, 1)],
+            visited: vec![0],
+            backtrack: false,
+        };
+        let long = Msg::Search {
+            init: (0, 1),
+            idblock: None,
+            dmax: 2,
+            path: (0..50).map(|i| (i, 1)).collect(),
+            visited: (0..50).collect(),
+            backtrack: false,
+        };
+        let (s, l) = (short.size_bits(64), long.size_bits(64));
+        assert!(l > s);
+        // Linear in list lengths: 49 extra path entries (2b each) + 49
+        // extra visited entries (b each), b = 6.
+        assert_eq!(l - s, 49 * (2 * 6) + 49 * 6);
+    }
+
+    #[test]
+    fn id_bits_floors_at_one() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(1024), 10);
+    }
+}

@@ -1,0 +1,254 @@
+//! The protocol automaton: glue between the simulator and the four modules.
+
+use crate::config::Config;
+use crate::messages::{InfoPayload, Msg};
+use crate::state::NodeState;
+use crate::NodeId;
+use rand::Rng;
+use ssmdst_sim::{Automaton, Corrupt, Outbox};
+
+/// One node running the self-stabilizing MDST protocol.
+///
+/// The atomic-step structure follows the paper's Figure 2: `tick` is the
+/// `Do forever: send InfoMsg` loop head (plus the spanning-tree rules, which
+/// the paper evaluates on every state change), and `receive` dispatches on
+/// the message alphabet. Handlers live in the module files:
+/// [`crate::spanning_tree`], [`crate::maxdeg`], [`crate::cycle_search`],
+/// [`crate::reduction`].
+#[derive(Debug, Clone)]
+pub struct MdstNode {
+    pub(crate) st: NodeState,
+    pub(crate) cfg: Config,
+}
+
+impl MdstNode {
+    /// Fresh node in the post-reset state (self-rooted, empty mirrors).
+    pub fn new(id: NodeId, neighbors: &[NodeId], cfg: Config) -> Self {
+        let mut st = NodeState::new(id, neighbors);
+        st.dist_ceiling = cfg.max_path_len as u32 + 1;
+        MdstNode { st, cfg }
+    }
+
+    /// Read-only view of the protocol state (oracles, tests, experiments).
+    pub fn state(&self) -> &NodeState {
+        &self.st
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Whether the busy latch currently rejects new improvement traffic
+    /// (always `false` under ablation A3).
+    pub(crate) fn busy_blocked(&self) -> bool {
+        self.cfg.enable_busy_latch && self.st.busy > 0
+    }
+
+    /// The `InfoMsg` gossip payload advertising current variables.
+    pub(crate) fn info_payload(&self) -> InfoPayload {
+        InfoPayload {
+            root: self.st.root,
+            parent: self.st.parent,
+            distance: self.st.distance,
+            dmax: self.st.dmax,
+            deg: self.st.deg,
+            subtree_max: self.st.subtree_max,
+            color: self.st.color,
+        }
+    }
+
+    /// Decrement throttle counters (one per tick).
+    fn decay_cooldowns(&mut self) {
+        for c in self.st.search_cooldown.values_mut() {
+            *c = c.saturating_sub(1);
+        }
+        for c in self.st.deblock_cooldown.values_mut() {
+            *c = c.saturating_sub(1);
+        }
+        self.st.deblock_cooldown.retain(|_, c| *c > 0);
+        self.st.busy = self.st.busy.saturating_sub(1);
+    }
+}
+
+impl Automaton for MdstNode {
+    type Msg = Msg;
+
+    fn tick(&mut self, out: &mut Outbox<Msg>) {
+        self.decay_cooldowns();
+        // Priority order (paper §4): spanning tree first, then degree
+        // bookkeeping, then (guarded) cycle searches.
+        self.apply_tree_rules();
+        self.st.recompute_derived();
+        let info = Msg::Info(self.info_payload());
+        for i in 0..self.st.neighbors.len() {
+            let u = self.st.neighbors[i];
+            out.send(u, info.clone());
+        }
+        self.launch_periodic_searches(out);
+    }
+
+    fn receive(&mut self, from: NodeId, msg: Msg, out: &mut Outbox<Msg>) {
+        // Messages from non-neighbors can only be simulator misuse; the
+        // network enforces locality, so just guard in debug.
+        debug_assert!(self.st.is_neighbor(from), "receive from non-neighbor");
+        match msg {
+            Msg::Info(p) => self.handle_info(from, p),
+            Msg::Search {
+                init,
+                idblock,
+                dmax,
+                path,
+                visited,
+                backtrack,
+            } => self.handle_search(from, init, idblock, dmax, path, visited, backtrack, out),
+            Msg::Remove {
+                init,
+                deg_max,
+                w_idx,
+                z_idx,
+                cycle,
+                dmax,
+                dist_a,
+                dist_b,
+                pos,
+            } => self.handle_remove(
+                from, init, deg_max, w_idx, z_idx, cycle, dmax, dist_a, dist_b, pos, out,
+            ),
+            Msg::Flip {
+                cycle,
+                pos,
+                dir,
+                end,
+                origin,
+                anchor_dist,
+                anchor,
+            } => self.handle_flip(cycle, pos, dir, end, origin, anchor_dist, anchor, out),
+            Msg::DistChain {
+                cycle,
+                pos,
+                dir,
+                end,
+                dist,
+            } => self.handle_dist_chain(from, cycle, pos, dir, end, dist, out),
+            Msg::DistFlood { dist } => self.handle_dist_flood(from, dist, out),
+            Msg::Deblock { idblock, ttl, dmax } => {
+                self.handle_deblock(from, idblock, ttl, dmax, out)
+            }
+        }
+    }
+}
+
+impl Corrupt for MdstNode {
+    /// The transient-fault adversary: overwrite every protocol variable and
+    /// every mirror with arbitrary (bounded-garbage) values. Bounds keep the
+    /// values representable — the adversary of the paper corrupts memory
+    /// contents, not the value domains.
+    fn corrupt(&mut self, rng: &mut rand::rngs::StdRng) {
+        let hi = self
+            .st
+            .neighbors
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(self.st.id)
+            .max(self.st.id)
+            + 4;
+        let random_node = |rng: &mut rand::rngs::StdRng| rng.random_range(0..hi);
+        self.st.root = random_node(rng);
+        self.st.parent = if rng.random_bool(0.5) && !self.st.neighbors.is_empty() {
+            let i = rng.random_range(0..self.st.neighbors.len());
+            self.st.neighbors[i]
+        } else if rng.random_bool(0.5) {
+            self.st.id
+        } else {
+            random_node(rng) // possibly a non-neighbor: R2 must fire
+        };
+        self.st.distance = rng.random_range(0..2 * hi);
+        self.st.dmax = rng.random_range(0..hi);
+        self.st.deg = rng.random_range(0..hi);
+        self.st.subtree_max = rng.random_range(0..hi);
+        self.st.color = rng.random_bool(0.5);
+        let nbrs = self.st.neighbors.clone();
+        for u in nbrs {
+            let v = crate::state::NbrView {
+                root: random_node(rng),
+                parent: random_node(rng),
+                distance: rng.random_range(0..2 * hi),
+                dmax: rng.random_range(0..hi),
+                deg: rng.random_range(0..hi),
+                subtree_max: rng.random_range(0..hi),
+                color: rng.random_bool(0.5),
+            };
+            self.st.nbr.insert(u, v);
+        }
+        for c in self.st.search_cooldown.values_mut() {
+            *c = rng.random_range(0..self.cfg.search_period.max(1));
+        }
+        self.st.deblock_cooldown.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn node() -> MdstNode {
+        MdstNode::new(1, &[0, 2], Config::for_n(8))
+    }
+
+    #[test]
+    fn tick_gossips_to_all_neighbors() {
+        let mut n = node();
+        let mut out = Outbox::new();
+        n.tick(&mut out);
+        assert_eq!(out.len(), 2); // one InfoMsg per neighbor, no searches yet
+    }
+
+    #[test]
+    fn info_payload_reflects_state() {
+        let mut n = node();
+        n.st.root = 0;
+        n.st.distance = 7;
+        let p = n.info_payload();
+        assert_eq!(p.root, 0);
+        assert_eq!(p.distance, 7);
+    }
+
+    #[test]
+    fn corrupt_changes_state_and_is_deterministic() {
+        let mut a = node();
+        let mut b = node();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(4);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(4);
+        a.corrupt(&mut r1);
+        b.corrupt(&mut r2);
+        assert_eq!(a.st, b.st);
+        // With overwhelming probability the corrupted state differs from
+        // fresh (checked via multiple fields).
+        let fresh = node();
+        assert_ne!(a.st, fresh.st);
+    }
+
+    #[test]
+    fn corrupted_node_still_ticks() {
+        let mut n = node();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        n.corrupt(&mut rng);
+        let mut out = Outbox::new();
+        n.tick(&mut out); // must not panic on garbage
+        assert!(out.len() >= 2);
+    }
+
+    #[test]
+    fn cooldowns_decay_to_zero_and_prune() {
+        let mut n = node();
+        n.st.search_cooldown.insert(2, 2);
+        n.st.deblock_cooldown.insert(5, 1);
+        let mut out = Outbox::new();
+        n.tick(&mut out);
+        assert_eq!(n.st.search_cooldown[&2], 1);
+        assert!(n.st.deblock_cooldown.is_empty()); // pruned at zero
+    }
+}

@@ -1,0 +1,416 @@
+//! Per-node protocol state and the paper's predicates (§3.1).
+//!
+//! In the send/receive atomicity model every node keeps a *mirror* of each
+//! neighbor's variables ([`NbrView`]), refreshed by `InfoMsg`; all predicates
+//! are evaluated against the mirrors, never against live remote state.
+
+use crate::NodeId;
+use std::collections::BTreeMap;
+
+/// Mirrored copy of one neighbor's advertised variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NbrView {
+    /// Neighbor's root estimate.
+    pub root: NodeId,
+    /// Neighbor's parent pointer.
+    pub parent: NodeId,
+    /// Neighbor's distance-to-root estimate.
+    pub distance: u32,
+    /// Neighbor's `dmax` (tree max-degree estimate).
+    pub dmax: u32,
+    /// Neighbor's own tree degree.
+    pub deg: u32,
+    /// Neighbor's aggregated subtree max degree (PIF feedback value).
+    pub subtree_max: u32,
+    /// Neighbor's color bit (dmax-agreement witness).
+    pub color: bool,
+}
+
+impl NbrView {
+    /// A blank mirror used before the first `InfoMsg` arrives (and by the
+    /// corruption adversary).
+    pub fn unknown(of: NodeId) -> Self {
+        NbrView {
+            root: of,
+            parent: of,
+            distance: 0,
+            dmax: 0,
+            deg: 0,
+            subtree_max: 0,
+            color: false,
+        }
+    }
+}
+
+/// The local variables of the paper (§3.1) plus derived values and
+/// throttling counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeState {
+    /// This node's identifier (also its unique ID for tie-breaking).
+    pub id: NodeId,
+    /// Sorted neighbor list (static topology).
+    pub neighbors: Vec<NodeId>,
+
+    // ------ the paper's variables ------
+    /// `root_v`: ID of the believed tree root.
+    pub root: NodeId,
+    /// `parent_v`: parent pointer (== `id` iff self-rooted).
+    pub parent: NodeId,
+    /// `distance_v`: hop distance to the root along parents.
+    pub distance: u32,
+    /// `dmax_v`: local estimate of `deg(T)`.
+    pub dmax: u32,
+    /// `deg_v`: own tree degree (derived from parents, cached).
+    pub deg: u32,
+    /// `color_tree_v`: true iff `dmax` agreed with all mirrors when last
+    /// recomputed.
+    pub color: bool,
+    /// PIF feedback: max tree degree in this node's subtree (incl. self).
+    pub subtree_max: u32,
+
+    /// Distance ceiling (≈ n + 2): a valid tree never produces distances at
+    /// or above it, so root claims carried with such distances are fake
+    /// (they can only originate in parent cycles) and must not be adopted.
+    pub dist_ceiling: u32,
+
+    // ------ mirrors ------
+    /// Neighbor mirrors, keyed by neighbor id.
+    pub nbr: BTreeMap<NodeId, NbrView>,
+
+    // ------ throttles (not part of the verified state) ------
+    /// Remaining ticks before re-launching a `Search` per non-tree neighbor.
+    pub search_cooldown: BTreeMap<NodeId, u32>,
+    /// Remaining ticks ignoring repeated `Deblock` floods per blocking id.
+    pub deblock_cooldown: BTreeMap<NodeId, u32>,
+    /// Remaining ticks during which this node refuses to relay *new*
+    /// `Remove` requests because an improvement is already moving through
+    /// it. Serializes overlapping improvements (whose flips would otherwise
+    /// cross and corrupt the tree) while leaving vertex-disjoint
+    /// improvements fully concurrent — the paper's concurrency claim.
+    pub busy: u32,
+    /// Search launches performed so far; feeds the deterministic cooldown
+    /// jitter that de-synchronizes retries (a perfectly periodic retry
+    /// schedule can replay the same improvement collision forever under
+    /// the synchronous daemon).
+    pub launch_counter: u64,
+}
+
+impl NodeState {
+    /// Fresh post-reset state: self-rooted, no tree edges believed.
+    pub fn new(id: NodeId, neighbors: &[NodeId]) -> Self {
+        NodeState {
+            id,
+            neighbors: neighbors.to_vec(),
+            root: id,
+            parent: id,
+            distance: 0,
+            dmax: 0,
+            deg: 0,
+            color: false,
+            subtree_max: 0,
+            dist_ceiling: u32::MAX,
+            nbr: neighbors.iter().map(|&u| (u, NbrView::unknown(u))).collect(),
+            search_cooldown: BTreeMap::new(),
+            deblock_cooldown: BTreeMap::new(),
+            busy: 0,
+            launch_counter: 0,
+        }
+    }
+
+    /// Mirror of neighbor `u` (blank if somehow missing — mirrors of
+    /// non-neighbors are never consulted).
+    pub fn view(&self, u: NodeId) -> NbrView {
+        self.nbr.get(&u).copied().unwrap_or(NbrView::unknown(u))
+    }
+
+    /// Whether `u` is a topological neighbor.
+    pub fn is_neighbor(&self, u: NodeId) -> bool {
+        self.neighbors.binary_search(&u).is_ok()
+    }
+
+    // ---------- the paper's predicates (§3.1) ----------
+
+    /// `is_tree_edge(v, u)`: `{v,u}` is a tree edge iff either end points
+    /// its parent at the other.
+    pub fn is_tree_edge(&self, u: NodeId) -> bool {
+        self.is_neighbor(u) && (self.parent == u || self.view(u).parent == self.id)
+    }
+
+    /// Children according to the mirrors: neighbors whose parent is me.
+    pub fn children(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors
+            .iter()
+            .copied()
+            .filter(move |&u| self.view(u).parent == self.id)
+    }
+
+    /// `better_parent(v)`: some neighbor advertises a strictly smaller root
+    /// *with a plausible distance*. The distance filter rejects fake roots
+    /// circulating in parent cycles, whose distances grow without bound —
+    /// without it, rule R1 re-adopts a cycle partner the moment R2 resets
+    /// a member, and the cycle never dies.
+    pub fn better_parent(&self) -> bool {
+        self.adoptable_parent().is_some()
+    }
+
+    /// The best adoptable parent candidate (smallest advertised root, ties
+    /// by ID) whose root beats ours and whose distance is in range.
+    pub fn adoptable_parent(&self) -> Option<NodeId> {
+        self.neighbors
+            .iter()
+            .copied()
+            .filter(|&u| {
+                let v = self.view(u);
+                v.root < self.root && v.distance < self.dist_ceiling
+            })
+            .min_by_key(|&u| (self.view(u).root, u))
+    }
+
+    /// `coherent_parent(v)`: parent is me or a neighbor with my root.
+    pub fn coherent_parent(&self) -> bool {
+        if self.parent == self.id {
+            // A self-rooted node must claim its own ID as root, and must not
+            // believe a root larger than itself (it could do better alone).
+            // These two guards close the classic phantom-root hole of
+            // min-ID election under arbitrary corruption.
+            self.root == self.id
+        } else {
+            self.is_neighbor(self.parent)
+                && self.root == self.view(self.parent).root
+                && self.root <= self.id
+        }
+    }
+
+    /// `coherent_distance(v)`: distance is parent's + 1 (0 when self-rooted).
+    pub fn coherent_distance(&self) -> bool {
+        if self.parent == self.id {
+            self.distance == 0
+        } else {
+            self.distance == self.view(self.parent).distance.saturating_add(1)
+        }
+    }
+
+    /// `new_root_candidate(v)` — rule R2's guard (strict form).
+    pub fn new_root_candidate_strict(&self) -> bool {
+        !self.coherent_parent() || !self.coherent_distance()
+    }
+
+    /// Gentle form: distance incoherence alone is repairable in place.
+    pub fn new_root_candidate_gentle(&self) -> bool {
+        !self.coherent_parent()
+    }
+
+    /// `tree_stabilized(v)` under the gentle rule: no better parent, parent
+    /// coherent, and every neighbor shares my root (the last conjunct makes
+    /// the predicate `false` while the min-root flood is still in progress,
+    /// which is what freezes the reduction module during tree churn).
+    pub fn tree_stabilized(&self) -> bool {
+        !self.better_parent()
+            && self.coherent_parent()
+            && self.coherent_distance()
+            && self.neighbors.iter().all(|&u| self.view(u).root == self.root)
+    }
+
+    /// `degree_stabilized(v)`: all mirrors agree with my `dmax`.
+    pub fn degree_stabilized(&self) -> bool {
+        self.neighbors.iter().all(|&u| self.view(u).dmax == self.dmax)
+    }
+
+    /// `color_stabilized(v)`: all mirrors carry my color bit.
+    pub fn color_stabilized(&self) -> bool {
+        self.neighbors
+            .iter()
+            .all(|&u| self.view(u).color == self.color)
+    }
+
+    /// `locally_stabilized(v)` — the freeze guard for modules 3 and 4.
+    pub fn locally_stabilized(&self) -> bool {
+        self.tree_stabilized() && self.degree_stabilized() && self.color_stabilized()
+    }
+
+    /// Recompute the derived variables (`deg`, `subtree_max`, `dmax`,
+    /// `color`) from own pointers and mirrors. Called after every mirror or
+    /// parent update; cheap (O(δ)).
+    pub fn recompute_derived(&mut self) {
+        self.deg = self
+            .neighbors
+            .iter()
+            .filter(|&&u| self.parent == u || self.view(u).parent == self.id)
+            .count() as u32;
+        // PIF feedback: fold children's subtree_max with own degree.
+        let mut sub = self.deg;
+        for c in self
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&u| self.view(u).parent == self.id)
+        {
+            sub = sub.max(self.view(c).subtree_max);
+        }
+        self.subtree_max = sub;
+        // PIF propagation: the root folds, everyone else inherits.
+        self.dmax = if self.parent == self.id {
+            self.subtree_max
+        } else {
+            self.view(self.parent).dmax
+        };
+        self.color = self.degree_stabilized();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3-node path 0 - 1 - 2 viewed from node 1, with a coherent tree
+    /// rooted at 0.
+    fn mid_node() -> NodeState {
+        let mut s = NodeState::new(1, &[0, 2]);
+        s.root = 0;
+        s.parent = 0;
+        s.distance = 1;
+        s.nbr.insert(
+            0,
+            NbrView {
+                root: 0,
+                parent: 0,
+                distance: 0,
+                dmax: 2,
+                deg: 1,
+                subtree_max: 2,
+                color: true,
+            },
+        );
+        s.nbr.insert(
+            2,
+            NbrView {
+                root: 0,
+                parent: 1,
+                distance: 2,
+                dmax: 2,
+                deg: 1,
+                subtree_max: 1,
+                color: true,
+            },
+        );
+        s.dmax = 2;
+        s.color = true;
+        s
+    }
+
+    #[test]
+    fn fresh_state_is_self_rooted() {
+        let s = NodeState::new(3, &[1, 5]);
+        assert_eq!(s.root, 3);
+        assert_eq!(s.parent, 3);
+        assert!(s.coherent_parent());
+        assert!(s.coherent_distance());
+        assert_eq!(s.deg, 0);
+    }
+
+    #[test]
+    fn tree_edges_from_both_directions() {
+        let s = mid_node();
+        assert!(s.is_tree_edge(0)); // my parent
+        assert!(s.is_tree_edge(2)); // 2's parent is me
+        assert!(!s.is_tree_edge(7)); // not even a neighbor
+        assert_eq!(s.children().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn coherent_mid_node_is_stabilized() {
+        let mut s = mid_node();
+        s.recompute_derived();
+        assert_eq!(s.deg, 2);
+        assert_eq!(s.subtree_max, 2); // max(own 2, child's 1)
+        assert_eq!(s.dmax, 2); // inherited from parent mirror
+        assert!(s.tree_stabilized());
+        assert!(s.degree_stabilized());
+        assert!(s.locally_stabilized());
+    }
+
+    #[test]
+    fn better_parent_detected() {
+        let mut s = mid_node();
+        s.root = 1; // believes a worse root than neighbor 0's
+        s.parent = 1;
+        s.distance = 0;
+        assert!(s.better_parent());
+        assert!(!s.tree_stabilized());
+    }
+
+    #[test]
+    fn phantom_root_guard() {
+        // Self-rooted node claiming a root that is not its own ID.
+        let mut s = NodeState::new(4, &[1]);
+        s.root = 0; // phantom: no neighbor advertises 0 either
+        assert!(!s.coherent_parent());
+        assert!(s.new_root_candidate_strict());
+        assert!(s.new_root_candidate_gentle());
+    }
+
+    #[test]
+    fn root_larger_than_own_id_is_incoherent() {
+        let mut s = NodeState::new(1, &[0, 2]);
+        s.root = 5;
+        s.parent = 2;
+        s.nbr.insert(
+            2,
+            NbrView {
+                root: 5,
+                ..NbrView::unknown(2)
+            },
+        );
+        // Parent agrees on root 5, but 1 < 5 means 1 would be a better root.
+        assert!(!s.coherent_parent());
+    }
+
+    #[test]
+    fn distance_incoherence_gentle_vs_strict() {
+        let mut s = mid_node();
+        s.distance = 7; // wrong (parent is at 0)
+        assert!(!s.coherent_distance());
+        assert!(s.new_root_candidate_strict());
+        assert!(!s.new_root_candidate_gentle()); // parent still fine
+    }
+
+    #[test]
+    fn dmax_disagreement_clears_color_and_freeze() {
+        let mut s = mid_node();
+        let mut v = s.view(2);
+        v.dmax = 5;
+        s.nbr.insert(2, v);
+        s.recompute_derived();
+        assert!(!s.degree_stabilized());
+        assert!(!s.color);
+        assert!(!s.locally_stabilized());
+    }
+
+    #[test]
+    fn root_folds_subtree_max() {
+        // Node 0 as root of the 3-path, child 1 reporting subtree_max 2.
+        let mut s = NodeState::new(0, &[1]);
+        s.nbr.insert(
+            1,
+            NbrView {
+                root: 0,
+                parent: 0,
+                distance: 1,
+                dmax: 0,
+                deg: 2,
+                subtree_max: 2,
+                color: true,
+            },
+        );
+        s.recompute_derived();
+        assert_eq!(s.deg, 1);
+        assert_eq!(s.subtree_max, 2);
+        assert_eq!(s.dmax, 2); // root: dmax = subtree_max
+    }
+
+    #[test]
+    fn view_of_unknown_neighbor_is_blank() {
+        let s = NodeState::new(0, &[1]);
+        assert_eq!(s.view(9), NbrView::unknown(9));
+    }
+}

@@ -1,0 +1,71 @@
+//! Graphviz DOT export for graphs and spanning trees — used by the examples
+//! to make results inspectable (`dot -Tsvg out.dot`).
+
+use crate::graph::Graph;
+use crate::spanning_tree::SpanningTree;
+use std::fmt::Write as _;
+
+/// Render the graph; if `tree` is given, its edges are drawn bold/colored
+/// and maximum-degree tree nodes are highlighted.
+pub fn to_dot(g: &Graph, tree: Option<&SpanningTree>) -> String {
+    let mut s = String::new();
+    s.push_str("graph ssmdst {\n  node [shape=circle fontsize=10];\n");
+    if let Some(t) = tree {
+        let deg = t.degrees();
+        let k = *deg.iter().max().unwrap_or(&0);
+        for v in g.nodes() {
+            let d = deg[v as usize];
+            if d == k && k > 0 {
+                let _ = writeln!(
+                    s,
+                    "  {v} [style=filled fillcolor=salmon label=\"{v}\\nd={d}\"];"
+                );
+            } else {
+                let _ = writeln!(s, "  {v} [label=\"{v}\\nd={d}\"];");
+            }
+        }
+    } else {
+        for v in g.nodes() {
+            let _ = writeln!(s, "  {v};");
+        }
+    }
+    for &(u, v) in g.edges() {
+        let is_tree = tree.map(|t| t.is_tree_edge(u, v)).unwrap_or(false);
+        if is_tree {
+            let _ = writeln!(s, "  {u} -- {v} [penwidth=2.5 color=blue];");
+        } else {
+            let _ = writeln!(s, "  {u} -- {v} [color=gray style=dashed];");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::structured;
+
+    #[test]
+    fn plain_graph_export() {
+        let g = structured::cycle(4).unwrap();
+        let s = to_dot(&g, None);
+        assert!(s.starts_with("graph ssmdst {"));
+        assert!(s.contains("0 -- 1"));
+        assert!(s.ends_with("}\n"));
+        // All 4 edges present.
+        assert_eq!(s.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn tree_edges_are_highlighted() {
+        let g = structured::star_with_ring(6).unwrap();
+        let t = SpanningTree::from_bfs(&g, 0).unwrap();
+        let s = to_dot(&g, Some(&t));
+        // Tree edges bold, the rest dashed; hub is max-degree → filled.
+        assert!(s.contains("penwidth=2.5"));
+        assert!(s.contains("style=dashed"));
+        assert!(s.contains("fillcolor=salmon"));
+        assert_eq!(s.matches("penwidth").count(), g.n() - 1);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while building or querying graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An endpoint referenced a node index `>= n`.
+    NodeOutOfRange { node: u32, n: u32 },
+    /// A self-loop `{v, v}` was supplied; the model only supports simple
+    /// undirected graphs.
+    SelfLoop { node: u32 },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge { u: u32, v: u32 },
+    /// An operation required a connected graph but the input was not.
+    Disconnected,
+    /// An operation required a non-empty graph.
+    Empty,
+    /// A parent vector did not describe a spanning tree of the host graph.
+    NotASpanningTree(&'static str),
+    /// A generator was asked for parameters it cannot satisfy
+    /// (e.g. a 2-dimensional grid with zero rows).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Empty => write!(f, "graph is empty"),
+            GraphError::NotASpanningTree(why) => write!(f, "not a spanning tree: {why}"),
+            GraphError::InvalidParameter(why) => write!(f, "invalid parameter: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("{1, 2}"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(GraphError::Disconnected, GraphError::Disconnected);
+        assert_ne!(GraphError::Disconnected, GraphError::Empty);
+    }
+}

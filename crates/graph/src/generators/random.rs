@@ -1,0 +1,249 @@
+//! Random graph families: Erdős–Rényi, Barabási–Albert, near-regular.
+//!
+//! All generators guarantee connectivity (the protocol's model assumes a
+//! connected network): instances below the connectivity threshold are
+//! repaired by adding a minimum set of random inter-component edges, which
+//! perturbs the degree distribution negligibly.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::union_find::UnionFind;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Deterministic RNG from a seed (StdRng is ChaCha12 — stable across runs).
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Add the fewest random edges needed to connect the staged graph.
+///
+/// Picks a random representative in each component and chains components in
+/// random order, so the repair does not bias toward low node IDs.
+pub(crate) fn connect_components(b: &mut GraphBuilder, n: usize, rng: &mut StdRng) {
+    if n == 0 {
+        return;
+    }
+    // Recompute components from the staged edges.
+    let snapshot = b.clone().build();
+    let (c, labels) = crate::traversal::connected_components(&snapshot);
+    if c <= 1 {
+        return;
+    }
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); c];
+    for v in 0..n as u32 {
+        members[labels[v as usize] as usize].push(v);
+    }
+    members.shuffle(rng);
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in snapshot.edges() {
+        uf.union(u, v);
+    }
+    for w in members.windows(2) {
+        let u = *w[0].choose(rng).expect("non-empty component");
+        let v = *w[1].choose(rng).expect("non-empty component");
+        if uf.union(u, v) {
+            b.add_edge_dedup(u, v).expect("repair edge valid");
+        }
+    }
+}
+
+/// Erdős–Rényi `G(n, p)`, repaired to be connected.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]` or `n == 0`.
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "gnp: n must be positive");
+    assert!((0.0..=1.0).contains(&p), "gnp: p must be in [0,1]");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if r.random::<f64>() < p {
+                b.add_edge(u, v).expect("gnp edge valid");
+            }
+        }
+    }
+    connect_components(&mut b, n, &mut r);
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` random edges (before connectivity
+/// repair, which may add a few more).
+///
+/// # Panics
+/// Panics if `m` exceeds `n(n−1)/2`.
+pub fn gnm_connected(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n > 0, "gnm: n must be positive");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "gnm: m={m} exceeds maximum {max_m}");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    // Rejection sampling is fine for the densities used in experiments.
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < m && attempts < 50 * max_m.max(1) {
+        attempts += 1;
+        let u = r.random_range(0..n as u32);
+        let v = r.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let before = b.staged_edges();
+        b.add_edge_dedup(u, v).expect("gnm edge valid");
+        if b.staged_edges() > before {
+            added += 1;
+        }
+    }
+    connect_components(&mut b, n, &mut r);
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: start from a clique of
+/// `attach + 1` nodes, each new node attaches to `attach` existing nodes
+/// sampled proportionally to degree. Produces the heavy-tailed degree
+/// distributions of peer-to-peer overlays (the paper's second motivation).
+///
+/// # Panics
+/// Panics if `attach == 0` or `n <= attach`.
+pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(attach >= 1, "ba: attach must be >= 1");
+    assert!(n > attach, "ba: need n > attach");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    // Degree-proportional sampling via the repeated-endpoints urn.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * n * attach);
+    let core = attach + 1;
+    for u in 0..core as u32 {
+        for v in (u + 1)..core as u32 {
+            b.add_edge(u, v).expect("ba core edge");
+            urn.push(u);
+            urn.push(v);
+        }
+    }
+    for v in core as u32..n as u32 {
+        let mut targets = Vec::with_capacity(attach);
+        let mut guard = 0;
+        while targets.len() < attach && guard < 10_000 {
+            guard += 1;
+            let t = *urn.choose(&mut r).expect("urn non-empty");
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t).expect("ba attach edge");
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Near-`d`-regular connected graph: a Hamiltonian cycle (guaranteeing
+/// connectivity and degree ≥ 2) plus random perfect-matching-style rounds
+/// until every node has degree ≥ `d` or the attempt budget is exhausted.
+///
+/// # Panics
+/// Panics if `d < 2` or `n < d + 1`.
+pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d >= 2, "near_regular: d must be >= 2");
+    assert!(n > d, "near_regular: need n > d");
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(&mut r);
+    for i in 0..n {
+        b.add_edge_dedup(perm[i], perm[(i + 1) % n]).expect("cycle edge");
+    }
+    let mut deg = vec![2usize; n];
+    let mut attempts = 0usize;
+    while deg.iter().any(|&x| x < d) && attempts < 100 * n * d {
+        attempts += 1;
+        let u = r.random_range(0..n as u32);
+        let v = r.random_range(0..n as u32);
+        if u == v || deg[u as usize] >= d || deg[v as usize] >= d {
+            continue;
+        }
+        let before = b.staged_edges();
+        b.add_edge_dedup(u, v).expect("regular edge");
+        if b.staged_edges() > before {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn gnp_connected_is_connected_even_at_low_p() {
+        for seed in 0..5 {
+            let g = gnp_connected(30, 0.01, seed);
+            assert!(is_connected(&g), "seed {seed}");
+            assert_eq!(g.n(), 30);
+        }
+    }
+
+    #[test]
+    fn gnp_p_one_is_complete() {
+        let g = gnp_connected(8, 1.0, 0);
+        assert_eq!(g.m(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn gnp_p_zero_becomes_a_tree_after_repair() {
+        let g = gnp_connected(10, 0.0, 3);
+        assert!(is_connected(&g));
+        assert_eq!(g.m(), 9); // exactly the repair edges
+    }
+
+    #[test]
+    fn gnm_edge_count_at_least_m() {
+        let g = gnm_connected(20, 30, 11);
+        assert!(g.m() >= 30);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds maximum")]
+    fn gnm_rejects_impossible_m() {
+        gnm_connected(4, 10, 0);
+    }
+
+    #[test]
+    fn ba_is_connected_with_expected_edge_count() {
+        let g = barabasi_albert(50, 2, 9);
+        assert!(is_connected(&g));
+        // core clique C(3,2)=3 edges + 2 per additional node (minus rare
+        // collisions when the urn rejects duplicates).
+        assert!(g.m() >= 3 + 2 * (50 - 3) - 5);
+    }
+
+    #[test]
+    fn ba_has_heavy_hub() {
+        let g = barabasi_albert(200, 2, 1);
+        // Preferential attachment should produce a hub well above attach.
+        assert!(g.max_degree() >= 8, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn near_regular_meets_degree_floor() {
+        let g = near_regular(40, 4, 5);
+        assert!(is_connected(&g));
+        assert!(g.min_degree() >= 2);
+        let low = g.nodes().filter(|&v| g.degree(v) < 4).count();
+        assert!(low <= 2, "{low} nodes below target degree");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gnp_connected(25, 0.2, 7), gnp_connected(25, 0.2, 7));
+        assert_eq!(gnm_connected(25, 40, 7), gnm_connected(25, 40, 7));
+        assert_eq!(barabasi_albert(25, 2, 7), barabasi_albert(25, 2, 7));
+        assert_eq!(near_regular(25, 3, 7), near_regular(25, 3, 7));
+    }
+}

@@ -1,0 +1,226 @@
+//! Deterministic structured topologies: paths, cycles, grids, tori,
+//! hypercubes, complete (bipartite) graphs and star-with-ring overlays.
+//!
+//! These have well-understood optimal degrees and stress specific aspects of
+//! the protocol: grids and tori exercise long fundamental cycles, hypercubes
+//! give many vertex-disjoint improvement options, complete graphs maximize
+//! the non-tree-edge population (search traffic), and star-with-ring is the
+//! worst case a BFS tree produces (degree `n−1` at the hub) while `Δ* = 2`.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Path `0 − 1 − … − (n−1)`. `Δ* = 2` for `n ≥ 3` (the path is its own MDST).
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("path: n must be >= 1"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Cycle `C_n`. `Δ* = 2`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter("cycle: n must be >= 3"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        b.add_edge(v, (v + 1) % n as u32)?;
+    }
+    Ok(b.build())
+}
+
+/// Complete graph `K_n`. `Δ* = 2` for `n ≥ 3` (Hamiltonian path).
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::InvalidParameter("complete: n must be >= 1"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(u, v)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Complete bipartite `K_{a,b}` with sides `0..a` and `a..a+b`.
+/// For `a ≤ b`, `Δ* = ⌈(b−1)/a⌉ + 1` (left nodes must absorb the right side).
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::InvalidParameter(
+            "complete_bipartite: both sides must be non-empty",
+        ));
+    }
+    let mut g = GraphBuilder::new(a + b);
+    for u in 0..a as u32 {
+        for v in a as u32..(a + b) as u32 {
+            g.add_edge(u, v)?;
+        }
+    }
+    Ok(g.build())
+}
+
+/// `rows × cols` grid, row-major node numbering. `Δ* = 2` when a Hamiltonian
+/// path exists (always for grids with `rows, cols ≥ 1`), though finding it is
+/// the solver's job.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter("grid: rows, cols must be >= 1"));
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1))?;
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// `rows × cols` torus (grid with wraparound). Requires both dims ≥ 3 so the
+/// wrap edges are distinct from grid edges.
+pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows < 3 || cols < 3 {
+        return Err(GraphError::InvalidParameter("torus: dims must be >= 3"));
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r, (c + 1) % cols))?;
+            b.add_edge(id(r, c), id((r + 1) % rows, c))?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// `dim`-dimensional hypercube `Q_dim` on `2^dim` nodes. Hamiltonian (Gray
+/// code), so `Δ* = 2`.
+pub fn hypercube(dim: u32) -> Result<Graph, GraphError> {
+    if dim == 0 || dim > 20 {
+        return Err(GraphError::InvalidParameter("hypercube: dim in 1..=20"));
+    }
+    let n = 1usize << dim;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u32 {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(v, u)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A hub node `0` connected to all of `1..n`, which also form a ring.
+///
+/// The canonical hard instance for naive tree construction: the min-ID BFS
+/// tree rooted at the hub has degree `n − 1`, yet `Δ* = 2` (drop all but one
+/// spoke and use the ring). The degree-reduction module must perform
+/// `n − 3` improvements to fix it.
+pub fn star_with_ring(n: usize) -> Result<Graph, GraphError> {
+    if n < 4 {
+        return Err(GraphError::InvalidParameter("star_with_ring: n must be >= 4"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(0, v)?;
+    }
+    for v in 1..n as u32 {
+        let w = if v as usize == n - 1 { 1 } else { v + 1 };
+        b.add_edge(v, w)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::{diameter, is_connected};
+
+    #[test]
+    fn path_shape() {
+        let g = path(5).unwrap();
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(diameter(&g), Some(4));
+        assert!(path(0).is_err());
+        assert_eq!(path(1).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6).unwrap();
+        assert_eq!(g.m(), 6);
+        assert!(g.nodes().all(|v| g.degree(v) == 2));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(2, 3).unwrap();
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 3); // left side sees all of right
+        assert_eq!(g.degree(2), 2); // right side sees all of left
+        assert!(!g.has_edge(0, 1)); // no intra-side edges
+        assert!(complete_bipartite(0, 3).is_err());
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        // m = rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17
+        assert_eq!(g.m(), 17);
+        assert!(is_connected(&g));
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior (row 1, col 1)
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 5).unwrap();
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 2 * 15);
+        assert!(torus(2, 5).is_err());
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        assert_eq!(g.m(), 16 * 4 / 2);
+        assert_eq!(diameter(&g), Some(4));
+        assert!(hypercube(0).is_err());
+    }
+
+    #[test]
+    fn star_with_ring_shape() {
+        let g = star_with_ring(8).unwrap();
+        assert_eq!(g.degree(0), 7);
+        for v in 1..8u32 {
+            assert_eq!(g.degree(v), 3); // hub + two ring neighbors
+        }
+        assert!(is_connected(&g));
+        assert!(star_with_ring(3).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Immutable simple undirected graph with sorted adjacency lists.
+//!
+//! The representation is tuned for the access patterns of the protocol
+//! simulator and the solvers:
+//!
+//! * `neighbors(v)` returns a sorted slice (the protocol iterates a node's
+//!   neighborhood on every `InfoMsg`),
+//! * a canonical edge list `edges()` with stable [`EdgeId`]s (the degree
+//!   reduction module is driven by non-tree edges),
+//! * O(log δ) adjacency tests via binary search.
+
+use crate::error::GraphError;
+use serde::{Deserialize, Serialize};
+
+/// Dense node identifier, `0..n`.
+pub type NodeId = u32;
+
+/// Index into the canonical edge list of a [`Graph`].
+pub type EdgeId = u32;
+
+/// A simple undirected graph.
+///
+/// Construct through [`GraphBuilder`] or the [`crate::generators`] module.
+/// Instances are immutable: the protocol treats the topology as static, as
+/// the paper does ("we consider a static topology").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    n: u32,
+    /// Sorted adjacency lists, one per node.
+    adj: Vec<Vec<NodeId>>,
+    /// Canonical edge list with `u < v`, sorted lexicographically.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node identifiers.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.n
+    }
+
+    /// Sorted neighbors of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v` in the graph (not in any tree).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree δ of the network.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree of the network.
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is an edge. O(log δ).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v
+            && (u as usize) < self.adj.len()
+            && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Canonical edge list: pairs `(u, v)` with `u < v`, lexicographically
+    /// sorted. Indexing this slice by [`EdgeId`] is stable for the lifetime
+    /// of the graph.
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// The [`EdgeId`] of `{u, v}` if present. O(log m).
+    pub fn edge_id(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.binary_search(&key).ok().map(|i| i as EdgeId)
+    }
+
+    /// Endpoints of edge `e` as `(u, v)` with `u < v`.
+    ///
+    /// # Panics
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e as usize]
+    }
+
+    /// Sum of degrees == 2m; sanity invariant used by property tests.
+    pub fn degree_sum(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// ```
+/// use ssmdst_graph::GraphBuilder;
+/// let g = GraphBuilder::new(4)
+///     .edge(0, 1).unwrap()
+///     .edge(1, 2).unwrap()
+///     .edge(2, 3).unwrap()
+///     .edge(3, 0).unwrap()
+///     .build();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 4);
+/// assert!(g.has_edge(0, 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Start a graph on `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "graph too large");
+        GraphBuilder {
+            n: n as u32,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add the undirected edge `{u, v}`; rejects self-loops, duplicates and
+    /// out-of-range endpoints. Consumes and returns `self` for chaining.
+    pub fn edge(mut self, u: NodeId, v: NodeId) -> Result<Self, GraphError> {
+        self.add_edge(u, v)?;
+        Ok(self)
+    }
+
+    /// Add an edge through a mutable reference (generator-friendly form).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        for &x in &[u, v] {
+            if x >= self.n {
+                return Err(GraphError::NodeOutOfRange { node: x, n: self.n });
+            }
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        // Duplicate detection is deferred to `build` for generators that add
+        // many edges, but we check eagerly here to give precise errors when
+        // the builder is used by hand.
+        if self.edges.contains(&key) {
+            return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Add an edge, silently ignoring duplicates. Used by randomized
+    /// generators where collision is expected.
+    pub fn add_edge_dedup(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) | Err(GraphError::DuplicateEdge { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Current number of (deduplicated) edges staged in the builder.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into an immutable [`Graph`].
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.n as usize];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        Graph {
+            n: self.n,
+            adj,
+            edges: self.edges,
+        }
+    }
+}
+
+/// Convenience constructor from an edge list; used pervasively in tests.
+///
+/// # Panics
+/// Panics on invalid edges — tests want loud failures.
+pub fn graph_from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(u, v)
+            .unwrap_or_else(|e| panic!("bad edge ({u},{v}): {e}"));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = GraphBuilder::new(1).build();
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.degree(0), 0);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn triangle_basic_queries() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(2, 2));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree_sum(), 6);
+    }
+
+    #[test]
+    fn edge_ids_are_canonical_and_stable() {
+        let g = graph_from_edges(4, &[(2, 3), (0, 1), (1, 3)]);
+        // Sorted canonical list: (0,1), (1,3), (2,3)
+        assert_eq!(g.edges(), &[(0, 1), (1, 3), (2, 3)]);
+        assert_eq!(g.edge_id(3, 1), Some(1));
+        assert_eq!(g.edge_id(3, 2), Some(2));
+        assert_eq!(g.edge_id(0, 2), None);
+        assert_eq!(g.endpoints(0), (0, 1));
+    }
+
+    #[test]
+    fn builder_rejects_self_loop() {
+        let err = GraphBuilder::new(2).edge(1, 1).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let err = GraphBuilder::new(2).edge(0, 2).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 2, n: 2 });
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_in_either_orientation() {
+        let err = GraphBuilder::new(3)
+            .edge(0, 1)
+            .unwrap()
+            .edge(1, 0)
+            .unwrap_err();
+        assert_eq!(err, GraphError::DuplicateEdge { u: 0, v: 1 });
+    }
+
+    #[test]
+    fn dedup_add_ignores_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_dedup(0, 1).unwrap();
+        b.add_edge_dedup(1, 0).unwrap();
+        b.add_edge_dedup(1, 2).unwrap();
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = graph_from_edges(5, &[(3, 0), (3, 4), (3, 1), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4]);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Disjoint-set forest with union by rank and path halving.
+//!
+//! Used by the degree-bounded spanning-tree decision procedure, the
+//! Fürer–Raghavachari baseline (component tracking after removing high-degree
+//! nodes) and the generators (connectivity repair).
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[ra as usize] == self.rank[rb as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Reset to `n` singletons without reallocating.
+    pub fn reset(&mut self) {
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.rank.fill(0);
+        self.components = self.parent.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(4);
+        assert_eq!(uf.components(), 4);
+        for i in 0..4 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0)); // already merged
+        assert_eq!(uf.components(), 3);
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.components(), 2);
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn reset_restores_singletons() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.components(), 1);
+        uf.reset();
+        assert_eq!(uf.components(), 3);
+        assert!(!uf.connected(0, 2));
+    }
+
+    #[test]
+    fn transitive_connectivity_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.components(), 1);
+        assert!(uf.connected(0, 99));
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the graph substrate's core invariants.
+
+use proptest::prelude::*;
+use ssmdst_graph::generators::random::{gnm_connected, gnp_connected};
+use ssmdst_graph::{
+    bfs_distances, biconnectivity, connected_components, degree_lower_bound, exact_mdst,
+    is_connected, Graph, SolveBudget, SpanningTree, UnionFind,
+};
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=14, 0.1f64..0.9, 0u64..10_000).prop_map(|(n, p, s)| gnp_connected(n, p, s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Handshake lemma and basic representation invariants.
+    #[test]
+    fn representation_invariants(g in arb_graph()) {
+        prop_assert_eq!(g.degree_sum(), 2 * g.m());
+        // Neighbor lists sorted and symmetric.
+        for v in g.nodes() {
+            let nbrs = g.neighbors(v);
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            for &u in nbrs {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert!(g.has_edge(v, u));
+            }
+        }
+        // Edge ids roundtrip.
+        for (i, &(u, v)) in g.edges().iter().enumerate() {
+            prop_assert_eq!(g.edge_id(u, v), Some(i as u32));
+            prop_assert_eq!(g.endpoints(i as u32), (u, v));
+        }
+    }
+
+    /// Connectivity repair really connects.
+    #[test]
+    fn generators_produce_connected_graphs(
+        n in 2usize..30, p in 0.0f64..0.3, seed in 0u64..500,
+    ) {
+        let g = gnp_connected(n, p, seed);
+        prop_assert!(is_connected(&g));
+        let (c, _) = connected_components(&g);
+        prop_assert_eq!(c, 1);
+        let g = gnm_connected(n, n.min(n * (n - 1) / 2), seed);
+        prop_assert!(is_connected(&g));
+    }
+
+    /// BFS distances satisfy the triangle property along edges.
+    #[test]
+    fn bfs_distances_are_1_lipschitz_on_edges(g in arb_graph()) {
+        let d = bfs_distances(&g, 0);
+        for &(u, v) in g.edges() {
+            let (du, dv) = (d[u as usize] as i64, d[v as usize] as i64);
+            prop_assert!((du - dv).abs() <= 1, "edge ({u},{v}): {du} vs {dv}");
+        }
+    }
+
+    /// A BFS tree is valid, spans, and tree paths are consistent with it.
+    #[test]
+    fn bfs_tree_and_paths(g in arb_graph()) {
+        let t = SpanningTree::from_bfs(&g, 0).unwrap();
+        t.validate(&g).unwrap();
+        prop_assert_eq!(t.edge_set().len(), g.n() - 1);
+        // The tree path between any two nodes starts/ends correctly and
+        // walks tree edges only.
+        let a = 0u32;
+        let b = (g.n() - 1) as u32;
+        let path = t.tree_path(a, b);
+        prop_assert_eq!(*path.first().unwrap(), a);
+        prop_assert_eq!(*path.last().unwrap(), b);
+        for w in path.windows(2) {
+            prop_assert!(t.is_tree_edge(w[0], w[1]));
+        }
+    }
+
+    /// Fundamental-cycle swap: for every non-tree edge and every cycle
+    /// edge, the swap yields a valid spanning tree containing the inserted
+    /// edge and not the removed one.
+    #[test]
+    fn every_swap_is_valid(g in arb_graph(), pick in 0usize..1_000) {
+        let t0 = SpanningTree::from_bfs(&g, 0).unwrap();
+        let non_tree: Vec<_> = g.edges().iter().copied()
+            .filter(|&(u, v)| !t0.is_tree_edge(u, v)).collect();
+        if non_tree.is_empty() {
+            return Ok(()); // the graph is a tree
+        }
+        let (u, v) = non_tree[pick % non_tree.len()];
+        let path = t0.fundamental_cycle_path(u, v);
+        for w in path.windows(2) {
+            let mut t = t0.clone();
+            t.swap((u, v), (w[0], w[1]));
+            t.validate(&g).unwrap();
+            prop_assert!(t.is_tree_edge(u, v));
+            prop_assert!(!t.is_tree_edge(w[0], w[1]));
+        }
+    }
+
+    /// The lower bound never exceeds the exact optimum.
+    #[test]
+    fn lower_bound_is_sound(g in arb_graph()) {
+        let lb = degree_lower_bound(&g);
+        if let Some(ds) = exact_mdst(&g, SolveBudget { max_nodes: 500_000 }).delta_star() {
+            prop_assert!(lb <= ds, "lb {lb} > Δ* {ds}");
+            // And the trivial sandwich: Δ* ≤ n - 1.
+            prop_assert!(ds <= (g.n() - 1) as u32);
+        }
+    }
+
+    /// Removing any bridge disconnects; removing any non-bridge does not.
+    #[test]
+    fn bridges_characterization(g in arb_graph()) {
+        let bc = biconnectivity(&g);
+        for &(u, v) in g.edges().iter().take(20) {
+            // Rebuild without this edge.
+            let mut b = ssmdst_graph::GraphBuilder::new(g.n());
+            for &(x, y) in g.edges() {
+                if (x, y) != (u, v) {
+                    b.add_edge(x, y).unwrap();
+                }
+            }
+            let without = b.build();
+            let disconnects = !is_connected(&without);
+            let is_bridge = bc.bridges.binary_search(&(u, v)).is_ok();
+            prop_assert_eq!(disconnects, is_bridge, "edge ({}, {})", u, v);
+        }
+    }
+
+    /// Union-find agrees with BFS connectivity on random edge subsets.
+    #[test]
+    fn union_find_matches_components(g in arb_graph(), keep in 0u64..u64::MAX) {
+        // Keep a pseudo-random subset of edges.
+        let kept: Vec<_> = g.edges().iter().enumerate()
+            .filter(|(i, _)| (keep >> (i % 64)) & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        let mut uf = UnionFind::new(g.n());
+        let mut b = ssmdst_graph::GraphBuilder::new(g.n());
+        for &(u, v) in &kept {
+            uf.union(u, v);
+            b.add_edge(u, v).unwrap();
+        }
+        let sub = b.build();
+        let (c, labels) = connected_components(&sub);
+        prop_assert_eq!(c, uf.components());
+        for u in 0..g.n() as u32 {
+            for v in 0..g.n() as u32 {
+                prop_assert_eq!(
+                    labels[u as usize] == labels[v as usize],
+                    uf.connected(u, v)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Transient-fault injection — the adversary of Definition 1.
+//!
+//! Self-stabilization is convergence from an *arbitrary* configuration:
+//! corrupted local variables, corrupted neighbor mirrors, arbitrary channel
+//! contents. The simulator realizes that adversary in two ways:
+//!
+//! 1. **Corrupt-at-birth**: build automata with randomized garbage state
+//!    (the protocol crate's constructors take an "initial state" policy);
+//! 2. **Runtime corruption** via [`Corrupt`] + [`inject`]: after the system
+//!    stabilizes, scramble a fraction of the nodes and optionally the
+//!    channels, then measure re-convergence (experiment F2).
+
+use crate::automaton::Automaton;
+use crate::network::Network;
+use crate::NodeId;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Automata that can have their state scrambled by the transient-fault
+/// adversary.
+pub trait Corrupt {
+    /// Overwrite local state (including neighbor mirrors) with arbitrary
+    /// values drawn from `rng`. Implementations must leave the node able to
+    /// execute (no panics on the garbage), but need not leave it coherent —
+    /// that is the whole point.
+    fn corrupt(&mut self, rng: &mut StdRng);
+}
+
+/// Description of a fault burst.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Fraction of nodes to corrupt (0.0..=1.0).
+    pub node_fraction: f64,
+    /// Probability that each in-flight message is dropped.
+    pub message_drop: f64,
+    /// RNG seed for victim selection and garbage generation.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Corrupt every node and clear all channels — the harshest transient
+    /// fault (a full reset into garbage).
+    pub fn total(seed: u64) -> Self {
+        FaultPlan {
+            node_fraction: 1.0,
+            message_drop: 1.0,
+            seed,
+        }
+    }
+
+    /// Corrupt a fraction of nodes, leave channels intact.
+    pub fn partial(node_fraction: f64, seed: u64) -> Self {
+        FaultPlan {
+            node_fraction,
+            message_drop: 0.0,
+            seed,
+        }
+    }
+}
+
+/// Apply a fault burst to the network; returns the victims (sorted).
+pub fn inject<A: Automaton + Corrupt>(net: &mut Network<A>, plan: FaultPlan) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let n = net.n();
+    let k = ((n as f64) * plan.node_fraction).round() as usize;
+    let mut victims: Vec<NodeId> = (0..n as NodeId).collect();
+    victims.shuffle(&mut rng);
+    victims.truncate(k.min(n));
+    victims.sort_unstable();
+    for &v in &victims {
+        net.node_mut(v).corrupt(&mut rng);
+    }
+    if plan.message_drop >= 1.0 {
+        net.clear_channels();
+    } else if plan.message_drop > 0.0 {
+        net.drop_in_flight(plan.message_drop, &mut rng);
+    }
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{Message, Outbox};
+    use ssmdst_graph::generators::structured::cycle;
+
+    #[derive(Debug)]
+    struct Cell {
+        neighbors: Vec<NodeId>,
+        value: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Noop;
+    impl Message for Noop {
+        fn kind(&self) -> &'static str {
+            "Noop"
+        }
+        fn size_bits(&self, _n: usize) -> usize {
+            1
+        }
+    }
+
+    impl Automaton for Cell {
+        type Msg = Noop;
+        fn tick(&mut self, out: &mut Outbox<Noop>) {
+            for &w in &self.neighbors {
+                out.send(w, Noop);
+            }
+        }
+        fn receive(&mut self, _: NodeId, _: Noop, _: &mut Outbox<Noop>) {}
+    }
+
+    impl Corrupt for Cell {
+        fn corrupt(&mut self, rng: &mut StdRng) {
+            self.value = rng.random();
+        }
+    }
+
+    fn net() -> Network<Cell> {
+        let g = cycle(10).unwrap();
+        Network::from_graph(&g, |_, nbrs| Cell {
+            neighbors: nbrs.to_vec(),
+            value: 0,
+        })
+    }
+
+    #[test]
+    fn partial_fault_hits_requested_fraction() {
+        let mut n = net();
+        let victims = inject(&mut n, FaultPlan::partial(0.5, 1));
+        assert_eq!(victims.len(), 5);
+        let corrupted = n.nodes().iter().filter(|c| c.value != 0).count();
+        // Victim values are random u64; all-zero garbage is (2^-64)-unlikely.
+        assert_eq!(corrupted, 5);
+    }
+
+    #[test]
+    fn total_fault_clears_channels_and_hits_everyone() {
+        let mut n = net();
+        n.tick_node(0);
+        assert!(n.in_flight() > 0);
+        let victims = inject(&mut n, FaultPlan::total(2));
+        assert_eq!(victims.len(), 10);
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn fault_injection_is_seed_deterministic() {
+        let run = |seed| {
+            let mut n = net();
+            inject(&mut n, FaultPlan::partial(0.3, seed));
+            n.nodes().iter().map(|c| c.value).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn zero_fraction_corrupts_nobody() {
+        let mut n = net();
+        let victims = inject(&mut n, FaultPlan::partial(0.0, 1));
+        assert!(victims.is_empty());
+        assert!(n.nodes().iter().all(|c| c.value == 0));
+    }
+}

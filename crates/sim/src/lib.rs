@@ -1,0 +1,47 @@
+//! # ssmdst-sim
+//!
+//! A deterministic discrete-event simulator for asynchronous message-passing
+//! networks with reliable FIFO channels — the execution model of Blin,
+//! Gradinariu Potop-Butucaru & Rovedakis (IPDPS 2009).
+//!
+//! Model (paper §2):
+//!
+//! * nodes are state machines ([`Automaton`]) that take **atomic steps**: one
+//!   receive (or one spontaneous *tick* of the do-forever loop) plus local
+//!   computation plus sends — the *send/receive atomicity* of Burman–Kutten;
+//! * every undirected network edge is a pair of reliable **FIFO channels**;
+//! * the **scheduler** (daemon) chooses which enabled step runs next;
+//!   [`Scheduler::Synchronous`] delivers in lockstep,
+//!   [`Scheduler::RandomAsync`] explores random fair interleavings, and
+//!   [`Scheduler::Adversarial`] is a deterministic unfair-within-rounds
+//!   daemon — all seeded and reproducible;
+//! * a **round** is the standard complexity unit: the minimal period in
+//!   which every node takes at least one step and every message present at
+//!   the start of the round is delivered. The paper's `O(m n² log n)` bound
+//!   is in these rounds;
+//! * **transient faults** ([`faults`]) corrupt node state and channel
+//!   contents arbitrarily — the adversary self-stabilization is defined
+//!   against (Definition 1).
+//!
+//! The crate is generic over the protocol: the MDST protocol lives in
+//! `ssmdst-core`, and the simulator only sees [`Automaton`] + [`Message`].
+
+pub mod automaton;
+pub mod faults;
+pub mod metrics;
+pub mod network;
+pub mod parallel;
+pub mod runner;
+pub mod scheduler;
+pub mod trace;
+
+pub use automaton::{Automaton, Message, Outbox};
+pub use faults::Corrupt;
+pub use metrics::{KindStats, Metrics};
+pub use network::Network;
+pub use runner::{RunOutcome, Runner, StopReason};
+pub use scheduler::Scheduler;
+pub use trace::{ChangeSeries, StabilityWindow};
+
+/// Node identifier; dense indices `0..n` matching `ssmdst_graph::NodeId`.
+pub type NodeId = u32;

@@ -1,0 +1,145 @@
+//! Execution metrics: message counts by kind, sizes, and round accounting.
+//!
+//! These drive experiments T3 (message complexity), T4 (memory), F5
+//! (message-length claim `O(n log n)`).
+
+use std::collections::BTreeMap;
+
+/// Per-message-kind statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Messages sent of this kind.
+    pub sent: u64,
+    /// Messages delivered of this kind.
+    pub delivered: u64,
+    /// Largest serialized size (bits) observed for this kind.
+    pub max_size_bits: usize,
+    /// Sum of serialized sizes (bits) over all sends — divided by `sent`
+    /// this gives the mean message length.
+    pub total_size_bits: u64,
+}
+
+/// Aggregated metrics for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    by_kind: BTreeMap<&'static str, KindStats>,
+    /// Total messages sent (all kinds).
+    pub total_sent: u64,
+    /// Total messages delivered.
+    pub total_delivered: u64,
+    /// Completed rounds.
+    pub rounds: u64,
+    /// Peak number of undelivered messages across all channels (buffer
+    /// occupancy high-water mark).
+    pub peak_in_flight: usize,
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a send of a message with the given kind/size.
+    pub fn on_send(&mut self, kind: &'static str, size_bits: usize) {
+        let e = self.by_kind.entry(kind).or_default();
+        e.sent += 1;
+        e.max_size_bits = e.max_size_bits.max(size_bits);
+        e.total_size_bits += size_bits as u64;
+        self.total_sent += 1;
+    }
+
+    /// Record a delivery.
+    pub fn on_deliver(&mut self, kind: &'static str) {
+        self.by_kind.entry(kind).or_default().delivered += 1;
+        self.total_delivered += 1;
+    }
+
+    /// Record current in-flight message count (called by the network after
+    /// each step).
+    pub fn on_in_flight(&mut self, in_flight: usize) {
+        self.peak_in_flight = self.peak_in_flight.max(in_flight);
+    }
+
+    /// Stats for one kind, zeroed if never seen.
+    pub fn kind(&self, kind: &str) -> KindStats {
+        self.by_kind.get(kind).cloned().unwrap_or_default()
+    }
+
+    /// All kinds seen, in lexicographic order.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, &KindStats)> {
+        self.by_kind.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Largest message observed across all kinds (bits).
+    pub fn max_message_bits(&self) -> usize {
+        self.by_kind
+            .values()
+            .map(|s| s.max_size_bits)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Reset all counters (the fault-recovery experiment measures the
+    /// post-fault phase in isolation).
+    pub fn reset(&mut self) {
+        *self = Metrics::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_deliver_accounting() {
+        let mut m = Metrics::new();
+        m.on_send("InfoMsg", 32);
+        m.on_send("InfoMsg", 48);
+        m.on_send("Search", 300);
+        m.on_deliver("InfoMsg");
+        assert_eq!(m.total_sent, 3);
+        assert_eq!(m.total_delivered, 1);
+        let info = m.kind("InfoMsg");
+        assert_eq!(info.sent, 2);
+        assert_eq!(info.delivered, 1);
+        assert_eq!(info.max_size_bits, 48);
+        assert_eq!(info.total_size_bits, 80);
+        assert_eq!(m.max_message_bits(), 300);
+    }
+
+    #[test]
+    fn unknown_kind_is_zeroed() {
+        let m = Metrics::new();
+        assert_eq!(m.kind("Nope"), KindStats::default());
+    }
+
+    #[test]
+    fn in_flight_high_water_mark() {
+        let mut m = Metrics::new();
+        m.on_in_flight(3);
+        m.on_in_flight(10);
+        m.on_in_flight(5);
+        assert_eq!(m.peak_in_flight, 10);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut m = Metrics::new();
+        m.on_send("X", 8);
+        m.rounds = 9;
+        m.reset();
+        assert_eq!(m.total_sent, 0);
+        assert_eq!(m.rounds, 0);
+        assert_eq!(m.kinds().count(), 0);
+    }
+
+    #[test]
+    fn kinds_iterates_lexicographically() {
+        let mut m = Metrics::new();
+        m.on_send("Zeta", 1);
+        m.on_send("Alpha", 1);
+        let order: Vec<_> = m.kinds().map(|(k, _)| k).collect();
+        assert_eq!(order, vec!["Alpha", "Zeta"]);
+    }
+}

@@ -1,0 +1,287 @@
+//! The network: automata + directed FIFO channels over a static topology.
+
+use crate::automaton::{Automaton, Message, Outbox};
+use crate::metrics::Metrics;
+use crate::NodeId;
+use ssmdst_graph::Graph;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A network of `n` automata connected by reliable FIFO channels, one pair
+/// per undirected edge of the host graph.
+///
+/// Invariants enforced at runtime (catching protocol bugs early):
+/// * nodes may only send to their one-hop neighbors (the paper's locality),
+/// * channels deliver in FIFO order and never drop messages on their own —
+///   loss happens only through explicit fault injection.
+pub struct Network<A: Automaton> {
+    nodes: Vec<A>,
+    topo: Vec<Vec<NodeId>>,
+    /// Directed edge `(from, to)` → channel index.
+    chan_index: BTreeMap<(NodeId, NodeId), usize>,
+    /// One FIFO queue per directed edge.
+    channels: Vec<VecDeque<A::Msg>>,
+    in_flight: usize,
+    /// Metrics accumulated across the run.
+    pub metrics: Metrics,
+}
+
+impl<A: Automaton> Network<A> {
+    /// Build a network over `g`; `make(v, neighbors)` constructs node `v`'s
+    /// automaton (typically capturing the neighbor list and an arbitrary —
+    /// possibly corrupted — initial state).
+    pub fn from_graph(g: &Graph, mut make: impl FnMut(NodeId, &[NodeId]) -> A) -> Self {
+        let n = g.n();
+        let mut topo = Vec::with_capacity(n);
+        let mut chan_index = BTreeMap::new();
+        let mut channels = Vec::with_capacity(2 * g.m());
+        for v in g.nodes() {
+            topo.push(g.neighbors(v).to_vec());
+            for &w in g.neighbors(v) {
+                chan_index.insert((v, w), channels.len());
+                channels.push(VecDeque::new());
+            }
+        }
+        let nodes = (0..n as u32).map(|v| make(v, g.neighbors(v))).collect();
+        Network {
+            nodes,
+            topo,
+            chan_index,
+            channels,
+            in_flight: 0,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable view of node `v`'s automaton (for oracles and observers).
+    pub fn node(&self, v: NodeId) -> &A {
+        &self.nodes[v as usize]
+    }
+
+    /// Mutable access — used only by fault injection.
+    pub fn node_mut(&mut self, v: NodeId) -> &mut A {
+        &mut self.nodes[v as usize]
+    }
+
+    /// All automata, index == node id.
+    pub fn nodes(&self) -> &[A] {
+        &self.nodes
+    }
+
+    /// Neighbors of `v` in the topology.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.topo[v as usize]
+    }
+
+    /// Messages currently queued on the `from → to` channel.
+    pub fn channel_len(&self, from: NodeId, to: NodeId) -> usize {
+        self.chan_index
+            .get(&(from, to))
+            .map(|&i| self.channels[i].len())
+            .unwrap_or(0)
+    }
+
+    /// Total undelivered messages.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Directed edges with a non-empty channel, in deterministic order.
+    pub fn nonempty_channels(&self) -> Vec<(NodeId, NodeId)> {
+        self.chan_index
+            .iter()
+            .filter(|&(_, &i)| !self.channels[i].is_empty())
+            .map(|(&e, _)| e)
+            .collect()
+    }
+
+    /// Run one spontaneous atomic step at `v` and route its sends.
+    pub fn tick_node(&mut self, v: NodeId) {
+        let mut out = Outbox::new();
+        self.nodes[v as usize].tick(&mut out);
+        self.route(v, &mut out);
+    }
+
+    /// Deliver the head of the `from → to` channel (one receive atomic
+    /// step). Returns `false` if the channel was empty.
+    pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> bool {
+        let Some(&ci) = self.chan_index.get(&(from, to)) else {
+            panic!("deliver_one: ({from},{to}) is not a channel");
+        };
+        let Some(msg) = self.channels[ci].pop_front() else {
+            return false;
+        };
+        self.in_flight -= 1;
+        self.metrics.on_deliver(msg.kind());
+        let mut out = Outbox::new();
+        self.nodes[to as usize].receive(from, msg, &mut out);
+        self.route(to, &mut out);
+        true
+    }
+
+    /// Move an outbox into channels, enforcing locality and recording
+    /// metrics.
+    fn route(&mut self, from: NodeId, out: &mut Outbox<A::Msg>) {
+        let n = self.nodes.len();
+        for (to, msg) in out.drain() {
+            let ci = *self
+                .chan_index
+                .get(&(from, to))
+                .unwrap_or_else(|| panic!("node {from} sent to non-neighbor {to}"));
+            self.metrics.on_send(msg.kind(), msg.size_bits(n));
+            self.channels[ci].push_back(msg);
+            self.in_flight += 1;
+        }
+        self.metrics.on_in_flight(self.in_flight);
+    }
+
+    /// Fault injection: erase all channel contents (an arbitrary initial
+    /// configuration includes arbitrary — here, empty — channel states).
+    pub fn clear_channels(&mut self) {
+        for c in &mut self.channels {
+            c.clear();
+        }
+        self.in_flight = 0;
+    }
+
+    /// Fault injection: drop each in-flight message independently with
+    /// probability `p` (transient corruption of channel contents; FIFO
+    /// order of survivors is preserved).
+    pub fn drop_in_flight<R: rand::Rng>(&mut self, p: f64, rng: &mut R) {
+        for c in &mut self.channels {
+            let before = c.len();
+            c.retain(|_| rng.random::<f64>() >= p);
+            self.in_flight -= before - c.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmdst_graph::graph::graph_from_edges;
+
+    /// Echo automaton: tick sends a counter to all neighbors; receive
+    /// remembers the largest value seen.
+    #[derive(Debug)]
+    struct Echo {
+        neighbors: Vec<NodeId>,
+        counter: u32,
+        best_seen: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Num(u32);
+    impl Message for Num {
+        fn kind(&self) -> &'static str {
+            "Num"
+        }
+        fn size_bits(&self, _n: usize) -> usize {
+            32
+        }
+    }
+
+    impl Automaton for Echo {
+        type Msg = Num;
+        fn tick(&mut self, out: &mut Outbox<Num>) {
+            self.counter += 1;
+            for &w in &self.neighbors {
+                out.send(w, Num(self.counter));
+            }
+        }
+        fn receive(&mut self, _from: NodeId, msg: Num, _out: &mut Outbox<Num>) {
+            self.best_seen = self.best_seen.max(msg.0);
+        }
+    }
+
+    fn echo_net() -> Network<Echo> {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        Network::from_graph(&g, |_, nbrs| Echo {
+            neighbors: nbrs.to_vec(),
+            counter: 0,
+            best_seen: 0,
+        })
+    }
+
+    #[test]
+    fn tick_routes_to_all_neighbors() {
+        let mut net = echo_net();
+        net.tick_node(1);
+        assert_eq!(net.channel_len(1, 0), 1);
+        assert_eq!(net.channel_len(1, 2), 1);
+        assert_eq!(net.in_flight(), 2);
+        assert_eq!(net.metrics.total_sent, 2);
+    }
+
+    #[test]
+    fn deliver_is_fifo() {
+        let mut net = echo_net();
+        net.tick_node(0); // sends Num(1) to 1
+        net.tick_node(0); // sends Num(2) to 1
+        assert_eq!(net.channel_len(0, 1), 2);
+        assert!(net.deliver_one(0, 1));
+        assert_eq!(net.node(1).best_seen, 1); // FIFO: first sent, first seen
+        assert!(net.deliver_one(0, 1));
+        assert_eq!(net.node(1).best_seen, 2);
+        assert!(!net.deliver_one(0, 1)); // empty now
+        assert_eq!(net.metrics.total_delivered, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        // Automaton that (wrongly) messages node 2 from node 0.
+        struct Bad;
+        impl Automaton for Bad {
+            type Msg = Num;
+            fn tick(&mut self, out: &mut Outbox<Num>) {
+                out.send(2, Num(0));
+            }
+            fn receive(&mut self, _: NodeId, _: Num, _: &mut Outbox<Num>) {}
+        }
+        let mut net = Network::from_graph(&g, |_, _| Bad);
+        net.tick_node(0);
+    }
+
+    #[test]
+    fn clear_channels_resets_in_flight() {
+        let mut net = echo_net();
+        net.tick_node(1);
+        assert_eq!(net.in_flight(), 2);
+        net.clear_channels();
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.nonempty_channels().is_empty());
+    }
+
+    #[test]
+    fn drop_in_flight_with_p_one_drops_all() {
+        let mut net = echo_net();
+        net.tick_node(1);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        net.drop_in_flight(1.0, &mut rng);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn nonempty_channels_deterministic_order() {
+        let mut net = echo_net();
+        net.tick_node(1);
+        net.tick_node(0);
+        let ch = net.nonempty_channels();
+        assert_eq!(ch, vec![(0, 1), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn peak_in_flight_tracked() {
+        let mut net = echo_net();
+        net.tick_node(1);
+        net.tick_node(1);
+        assert_eq!(net.metrics.peak_in_flight, 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! Parallel sweep driver for the experiment harness.
+//!
+//! Experiments run hundreds of independent (graph, seed, scheduler)
+//! simulations; this module fans them out across OS threads with crossbeam's
+//! scoped threads and collects results in input order. Each simulation is
+//! single-threaded and deterministic, so parallelism never perturbs results
+//! — a requirement for reproducible tables.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+/// Run `job` over `inputs` on up to `workers` threads, preserving input
+/// order in the output. `job` must be `Sync` (it is shared by reference) and
+/// inputs are handed out through a work-stealing index.
+///
+/// Falls back to sequential execution when `workers <= 1`.
+pub fn run_many<I, O, F>(inputs: Vec<I>, workers: usize, job: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if workers <= 1 || inputs.len() <= 1 {
+        return inputs.iter().map(&job).collect();
+    }
+    let n = inputs.len();
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let inputs_ref = &inputs;
+    let job_ref = &job;
+    thread::scope(|s| {
+        for _ in 0..workers.min(n) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = job_ref(&inputs_ref[i]);
+                slots.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+/// Number of workers to use by default: the available parallelism, capped
+/// so laptop runs stay responsive.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let out = run_many(inputs.clone(), 8, |&x| x * x);
+        let expect: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn sequential_fallback_matches_parallel() {
+        let inputs: Vec<u32> = (0..20).collect();
+        let seq = run_many(inputs.clone(), 1, |&x| x + 1);
+        let par = run_many(inputs, 4, |&x| x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let out: Vec<u32> = run_many(Vec::<u32>::new(), 4, |&x| x);
+        assert!(out.is_empty());
+        let out = run_many(vec![7u32], 4, |&x| x * 2);
+        assert_eq!(out, vec![14]);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn heavier_jobs_still_ordered() {
+        // Deliberately uneven job sizes to exercise work stealing.
+        let inputs: Vec<u64> = (0..30).collect();
+        let out = run_many(inputs, 6, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, (0..30).collect::<Vec<u64>>());
+    }
+}

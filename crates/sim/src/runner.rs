@@ -1,0 +1,258 @@
+//! The run loop: rounds, convergence detection and outcomes.
+
+use crate::automaton::Automaton;
+use crate::network::Network;
+use crate::scheduler::{Action, Picker, Scheduler};
+use crate::NodeId;
+
+/// Why a run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The observer predicate returned `true`.
+    Converged,
+    /// The round limit was reached first.
+    RoundLimit,
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Rounds executed in this call.
+    pub rounds: u64,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+impl RunOutcome {
+    /// Whether the observer predicate was satisfied.
+    pub fn converged(&self) -> bool {
+        self.reason == StopReason::Converged
+    }
+}
+
+/// Drives a [`Network`] under a [`Scheduler`], counting rounds.
+///
+/// **Round semantics** (the unit of the paper's `O(m n² log n)` bound): at
+/// the start of a round the runner snapshots the *obligations* — one tick
+/// per node plus one delivery per message then in flight. The scheduler
+/// orders them; the round ends when all have executed. Messages sent during
+/// the round are delivered in later rounds (they are the next round's
+/// obligations), so information travels at most one hop per round, matching
+/// the standard asynchronous round definition.
+pub struct Runner<A: Automaton> {
+    net: Network<A>,
+    picker: Picker,
+    round: u64,
+}
+
+impl<A: Automaton> Runner<A> {
+    /// Wrap a network with a scheduler.
+    pub fn new(net: Network<A>, sched: Scheduler) -> Self {
+        Runner {
+            net,
+            picker: Picker::new(sched),
+            round: 0,
+        }
+    }
+
+    /// The wrapped network (for oracles and metrics).
+    pub fn network(&self) -> &Network<A> {
+        &self.net
+    }
+
+    /// Mutable network access (fault injection between rounds).
+    pub fn network_mut(&mut self) -> &mut Network<A> {
+        &mut self.net
+    }
+
+    /// Completed rounds since construction.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Execute one full round.
+    pub fn step_round(&mut self) {
+        let mut obligations: Vec<Action> =
+            (0..self.net.n() as NodeId).map(Action::Tick).collect();
+        // One delivery obligation per message currently in flight; the
+        // runner re-pops the same channel that many times, preserving FIFO.
+        for (from, to) in self.net.nonempty_channels() {
+            for _ in 0..self.net.channel_len(from, to) {
+                obligations.push(Action::Deliver(from, to));
+            }
+        }
+        for act in self.picker.order(self.round, obligations) {
+            match act {
+                Action::Tick(v) => self.net.tick_node(v),
+                Action::Deliver(from, to) => {
+                    // The channel is guaranteed to still hold this round's
+                    // message: deliveries only pop and FIFO keeps order.
+                    let ok = self.net.deliver_one(from, to);
+                    debug_assert!(ok, "obligation for empty channel {from}->{to}");
+                }
+            }
+        }
+        self.round += 1;
+        self.net.metrics.rounds = self.round;
+    }
+
+    /// Run until `observer` returns `true` (checked after every round) or
+    /// `max_rounds` elapse.
+    pub fn run_until(
+        &mut self,
+        max_rounds: u64,
+        mut observer: impl FnMut(&Network<A>, u64) -> bool,
+    ) -> RunOutcome {
+        let start = self.round;
+        while self.round - start < max_rounds {
+            self.step_round();
+            if observer(&self.net, self.round) {
+                return RunOutcome {
+                    rounds: self.round - start,
+                    reason: StopReason::Converged,
+                };
+            }
+        }
+        RunOutcome {
+            rounds: self.round - start,
+            reason: StopReason::RoundLimit,
+        }
+    }
+
+    /// Run until a *projection* of the global state is unchanged for
+    /// `quiet_rounds` consecutive rounds (or `max_rounds` elapse). This is
+    /// the quiescence detector used to decide that the protocol has
+    /// stabilized: the projection is typically the tree edge set + dmax.
+    pub fn run_to_quiescence<P: PartialEq>(
+        &mut self,
+        max_rounds: u64,
+        quiet_rounds: u64,
+        mut project: impl FnMut(&Network<A>) -> P,
+    ) -> RunOutcome {
+        let mut last = project(&self.net);
+        let mut quiet = 0u64;
+        self.run_until(max_rounds, |net, _| {
+            let cur = project(net);
+            if cur == last {
+                quiet += 1;
+            } else {
+                quiet = 0;
+                last = cur;
+            }
+            quiet >= quiet_rounds
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{Message, Outbox};
+    use ssmdst_graph::generators::structured::path;
+
+    /// Min-propagation automaton: floods the smallest value seen; converges
+    /// to the global minimum everywhere. A tiny self-stabilizing protocol
+    /// that exercises rounds, channels and convergence detection.
+    #[derive(Debug)]
+    struct MinFlood {
+        neighbors: Vec<NodeId>,
+        value: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Val(u32);
+    impl Message for Val {
+        fn kind(&self) -> &'static str {
+            "Val"
+        }
+        fn size_bits(&self, n: usize) -> usize {
+            (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize
+        }
+    }
+
+    impl Automaton for MinFlood {
+        type Msg = Val;
+        fn tick(&mut self, out: &mut Outbox<Val>) {
+            for &w in &self.neighbors {
+                out.send(w, Val(self.value));
+            }
+        }
+        fn receive(&mut self, _from: NodeId, msg: Val, _out: &mut Outbox<Val>) {
+            self.value = self.value.min(msg.0);
+        }
+    }
+
+    fn min_net(n: usize) -> Network<MinFlood> {
+        let g = path(n).unwrap();
+        Network::from_graph(&g, |v, nbrs| MinFlood {
+            neighbors: nbrs.to_vec(),
+            value: 100 - v, // minimum (100 - (n-1)) sits at the far end
+        })
+    }
+
+    fn all_converged(net: &Network<MinFlood>, expect: u32) -> bool {
+        net.nodes().iter().all(|a| a.value == expect)
+    }
+
+    #[test]
+    fn sync_converges_in_diameter_rounds() {
+        let n = 10;
+        let mut r = Runner::new(min_net(n), Scheduler::Synchronous);
+        let expect = 100 - (n as u32 - 1);
+        let out = r.run_until(50, |net, _| all_converged(net, expect));
+        assert!(out.converged());
+        // Information travels one hop per round: diameter-ish rounds.
+        assert!(out.rounds <= 2 * n as u64, "took {} rounds", out.rounds);
+    }
+
+    #[test]
+    fn all_schedulers_converge() {
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::RandomAsync { seed: 3 },
+            Scheduler::Adversarial { seed: 3 },
+        ] {
+            let mut r = Runner::new(min_net(8), sched);
+            let out = r.run_until(200, |net, _| all_converged(net, 93));
+            assert!(out.converged(), "{sched:?} failed to converge");
+        }
+    }
+
+    #[test]
+    fn round_limit_is_respected() {
+        let mut r = Runner::new(min_net(8), Scheduler::Synchronous);
+        let out = r.run_until(3, |_, _| false);
+        assert_eq!(out.reason, StopReason::RoundLimit);
+        assert_eq!(out.rounds, 3);
+        assert_eq!(r.round(), 3);
+    }
+
+    #[test]
+    fn quiescence_detects_stability() {
+        let mut r = Runner::new(min_net(6), Scheduler::Synchronous);
+        let out = r.run_to_quiescence(100, 3, |net| {
+            net.nodes().iter().map(|a| a.value).collect::<Vec<_>>()
+        });
+        assert!(out.converged());
+        assert!(all_converged(r.network(), 95));
+    }
+
+    #[test]
+    fn rounds_count_matches_metrics() {
+        let mut r = Runner::new(min_net(4), Scheduler::Synchronous);
+        r.step_round();
+        r.step_round();
+        assert_eq!(r.network().metrics.rounds, 2);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_executions() {
+        let run = |seed| {
+            let mut r = Runner::new(min_net(9), Scheduler::RandomAsync { seed });
+            r.run_until(30, |_, _| false);
+            let vals: Vec<u32> = r.network().nodes().iter().map(|a| a.value).collect();
+            (vals, r.network().metrics.total_sent)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

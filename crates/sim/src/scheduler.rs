@@ -1,0 +1,152 @@
+//! Schedulers (daemons): who takes the next atomic step.
+//!
+//! Self-stabilization proofs quantify over *all* fair executions; the
+//! simulator approximates that space with three daemons. All are
+//! deterministic given their seed, so any failing execution can be replayed.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Daemon selecting among enabled atomic steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Lockstep: every round, all nodes tick in id order, then all messages
+    /// present at the start of the round are delivered in deterministic
+    /// channel order. The fastest executions; used for large sweeps.
+    Synchronous,
+    /// Uniformly random fair interleaving: within each round the set of
+    /// obligations (every node ticks once, every message present at round
+    /// start is delivered) is discharged in a random order, interleaved with
+    /// deliveries of newly sent messages.
+    RandomAsync { seed: u64 },
+    /// Deterministic unfair-within-round daemon: obligations are discharged
+    /// in an order keyed by a seeded hash, consistently favoring some
+    /// channels and starving others as long as fairness permits. Stresses
+    /// the protocol's tolerance to skewed relative speeds.
+    Adversarial { seed: u64 },
+}
+
+/// An enabled atomic step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Action {
+    /// Spontaneous step at a node.
+    Tick(u32),
+    /// Deliver the head of channel `(from, to)`.
+    Deliver(u32, u32),
+}
+
+/// Round-scoped action picker: the runner constructs one per run and asks it
+/// to order each round's obligations.
+pub(crate) struct Picker {
+    sched: Scheduler,
+    rng: Option<StdRng>,
+}
+
+impl Picker {
+    pub(crate) fn new(sched: Scheduler) -> Self {
+        let rng = match sched {
+            Scheduler::RandomAsync { seed } => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        Picker { sched, rng }
+    }
+
+    /// Order this round's obligations. The runner executes them left to
+    /// right (re-checking enabledness, since earlier actions can consume or
+    /// create messages).
+    pub(crate) fn order(&mut self, round: u64, mut obligations: Vec<Action>) -> Vec<Action> {
+        match self.sched {
+            Scheduler::Synchronous => {
+                // Ticks first (id order), then deliveries in channel order —
+                // classic synchronous round.
+                obligations.sort_unstable_by_key(|a| match *a {
+                    Action::Tick(v) => (0u8, v, 0),
+                    Action::Deliver(f, t) => (1u8, f, t),
+                });
+                obligations
+            }
+            Scheduler::RandomAsync { .. } => {
+                let rng = self.rng.as_mut().expect("random daemon has rng");
+                obligations.shuffle(rng);
+                obligations
+            }
+            Scheduler::Adversarial { seed } => {
+                // Stable, seed-keyed priority: the same channels are always
+                // served last, emulating consistently slow links.
+                obligations.sort_unstable_by_key(|a| hash_action(seed, round, a));
+                obligations
+            }
+        }
+    }
+}
+
+/// Deterministic 64-bit mix for the adversarial daemon (splitmix64 core).
+fn hash_action(seed: u64, round: u64, a: &Action) -> u64 {
+    let x = match *a {
+        Action::Tick(v) => (v as u64) << 1,
+        Action::Deliver(f, t) => ((f as u64) << 33) | ((t as u64) << 1) | 1,
+    };
+    // Round enters with a small weight so priorities are sticky across
+    // rounds but not frozen forever.
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (round / 16);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obligations() -> Vec<Action> {
+        vec![
+            Action::Deliver(1, 0),
+            Action::Tick(2),
+            Action::Tick(0),
+            Action::Deliver(0, 1),
+        ]
+    }
+
+    #[test]
+    fn synchronous_orders_ticks_first_then_channels() {
+        let mut p = Picker::new(Scheduler::Synchronous);
+        let ordered = p.order(0, obligations());
+        assert_eq!(
+            ordered,
+            vec![
+                Action::Tick(0),
+                Action::Tick(2),
+                Action::Deliver(0, 1),
+                Action::Deliver(1, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn random_async_is_seed_deterministic() {
+        let mut a = Picker::new(Scheduler::RandomAsync { seed: 5 });
+        let mut b = Picker::new(Scheduler::RandomAsync { seed: 5 });
+        assert_eq!(a.order(0, obligations()), b.order(0, obligations()));
+    }
+
+    #[test]
+    fn random_async_differs_across_seeds_eventually() {
+        // With 4 obligations a single-seed collision is possible; check over
+        // several rounds.
+        let mut a = Picker::new(Scheduler::RandomAsync { seed: 1 });
+        let mut b = Picker::new(Scheduler::RandomAsync { seed: 2 });
+        let same = (0..10).all(|r| a.order(r, obligations()) == b.order(r, obligations()));
+        assert!(!same);
+    }
+
+    #[test]
+    fn adversarial_is_deterministic_and_sticky() {
+        let mut a = Picker::new(Scheduler::Adversarial { seed: 9 });
+        let mut b = Picker::new(Scheduler::Adversarial { seed: 9 });
+        // Same order for the same round...
+        assert_eq!(a.order(3, obligations()), b.order(3, obligations()));
+        // ...and sticky across adjacent rounds (division by 16 in the hash).
+        assert_eq!(a.order(4, obligations()), b.order(5, obligations()));
+    }
+}

@@ -1,0 +1,136 @@
+//! Time-series probes: record any projection of the global state per round.
+//!
+//! The experiment harness uses these to produce trajectory figures (F1) and
+//! the examples use them for progress narration, without re-implementing
+//! change detection each time.
+
+/// Records `(round, value)` samples whenever the observed value changes.
+#[derive(Debug, Clone)]
+pub struct ChangeSeries<T> {
+    samples: Vec<(u64, T)>,
+}
+
+impl<T: PartialEq + Clone> ChangeSeries<T> {
+    /// Empty series.
+    pub fn new() -> Self {
+        ChangeSeries {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Offer an observation; it is stored only if it differs from the most
+    /// recent stored value. Returns `true` if stored.
+    pub fn observe(&mut self, round: u64, value: T) -> bool {
+        if self.samples.last().map(|(_, v)| v) == Some(&value) {
+            return false;
+        }
+        self.samples.push((round, value));
+        true
+    }
+
+    /// All stored samples in observation order.
+    pub fn samples(&self) -> &[(u64, T)] {
+        &self.samples
+    }
+
+    /// The most recent value, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.samples.last().map(|(_, v)| v)
+    }
+
+    /// The round of the last *change* — i.e. when the current value was
+    /// first observed. This is the "convergence round" once the run ends.
+    pub fn last_change_round(&self) -> Option<u64> {
+        self.samples.last().map(|&(r, _)| r)
+    }
+
+    /// Number of distinct values observed.
+    pub fn changes(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+impl<T: PartialEq + Clone> Default for ChangeSeries<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Windowed stability detector: reports how many consecutive observations
+/// have been identical. Complements `Runner::run_to_quiescence` when the
+/// caller wants to combine stability with other stop conditions.
+#[derive(Debug, Clone)]
+pub struct StabilityWindow<T> {
+    last: Option<T>,
+    stable_for: u64,
+}
+
+impl<T: PartialEq> StabilityWindow<T> {
+    /// Fresh detector.
+    pub fn new() -> Self {
+        StabilityWindow {
+            last: None,
+            stable_for: 0,
+        }
+    }
+
+    /// Offer an observation; returns the current stable streak length
+    /// (0 right after a change).
+    pub fn observe(&mut self, value: T) -> u64 {
+        if self.last.as_ref() == Some(&value) {
+            self.stable_for += 1;
+        } else {
+            self.last = Some(value);
+            self.stable_for = 0;
+        }
+        self.stable_for
+    }
+
+    /// Current streak without observing.
+    pub fn stable_for(&self) -> u64 {
+        self.stable_for
+    }
+}
+
+impl<T: PartialEq> Default for StabilityWindow<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn change_series_dedups() {
+        let mut s = ChangeSeries::new();
+        assert!(s.observe(1, 5));
+        assert!(!s.observe(2, 5));
+        assert!(s.observe(3, 4));
+        assert!(!s.observe(4, 4));
+        assert_eq!(s.samples(), &[(1, 5), (3, 4)]);
+        assert_eq!(s.last(), Some(&4));
+        assert_eq!(s.last_change_round(), Some(3));
+        assert_eq!(s.changes(), 2);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s: ChangeSeries<u32> = ChangeSeries::new();
+        assert!(s.samples().is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.last_change_round(), None);
+    }
+
+    #[test]
+    fn stability_window_counts_streaks() {
+        let mut w = StabilityWindow::new();
+        assert_eq!(w.observe(1), 0); // first observation
+        assert_eq!(w.observe(1), 1);
+        assert_eq!(w.observe(1), 2);
+        assert_eq!(w.observe(2), 0); // change resets
+        assert_eq!(w.observe(2), 1);
+        assert_eq!(w.stable_for(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Export the before/after trees as Graphviz DOT files for inspection:
+//!
+//! ```text
+//! cargo run --release --example visualize_tree
+//! dot -Tsvg before.dot -o before.svg && dot -Tsvg after.dot -o after.svg
+//! ```
+//!
+//! Tree edges are drawn bold blue, non-tree edges dashed gray, and
+//! maximum-degree tree nodes filled red — the "before" picture shows the
+//! BFS hub, the "after" picture the protocol's balanced tree.
+
+use ssmdst::graph::dot::to_dot;
+use ssmdst::graph::generators::gadgets::multi_hub;
+use ssmdst::graph::stats::{leaf_count, max_degree_count, tree_degrees};
+use ssmdst::prelude::*;
+use std::fs;
+
+fn main() -> std::io::Result<()> {
+    let g = multi_hub(3, 5).expect("valid gadget");
+    println!("multi-hub gadget: n={} m={}", g.n(), g.m());
+
+    let before = bfs_spanning_tree(&g, 0).expect("connected");
+    fs::write("before.dot", to_dot(&g, Some(&before)))?;
+    let s = tree_degrees(&before);
+    println!(
+        "before (BFS): deg(T)={} ({} max-degree nodes, {} leaves) -> before.dot",
+        s.max,
+        max_degree_count(&before),
+        leaf_count(&before)
+    );
+
+    let net = build_network(&g, Config::for_n(g.n()));
+    let mut runner = Runner::new(net, Scheduler::Synchronous);
+    let quiet = 6 * g.n() as u64;
+    let out = runner.run_to_quiescence(200_000, quiet, oracle::projection);
+    assert!(out.converged());
+    let after = oracle::try_extract_tree(&g, runner.network()).expect("tree");
+    fs::write("after.dot", to_dot(&g, Some(&after)))?;
+    let s = tree_degrees(&after);
+    println!(
+        "after (ssmdst, ~{} rounds): deg(T)={} ({} max-degree nodes, {} leaves) -> after.dot",
+        runner.round() - quiet,
+        s.max,
+        max_degree_count(&after),
+        leaf_count(&after)
+    );
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! `ssmdst` — command-line driver for the self-stabilizing MDST protocol.
+//!
+//! ```text
+//! ssmdst --family gnp-sparse --n 48 --seed 7 --scheduler async
+//! ssmdst --family spider --n 16 --corrupt 0.5 --dot tree.dot
+//! ```
+//!
+//! Generates a workload graph, runs the protocol to quiescence, optionally
+//! injects a transient fault and measures recovery, and prints a summary
+//! (degree vs. lower bound, rounds, message counts). With `--dot PATH` the
+//! final tree is written as Graphviz DOT.
+
+use ssmdst::core::oracle;
+use ssmdst::graph::generators::GraphFamily;
+use ssmdst::prelude::*;
+use ssmdst::sim::faults::{inject, FaultPlan};
+
+#[derive(Debug)]
+struct Args {
+    family: String,
+    n: usize,
+    seed: u64,
+    scheduler: String,
+    corrupt: f64,
+    dot: Option<String>,
+    max_rounds: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            family: "gnp-sparse".into(),
+            n: 32,
+            seed: 1,
+            scheduler: "sync".into(),
+            corrupt: 0.0,
+            dot: None,
+            max_rounds: 500_000,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--family" => args.family = val()?,
+            "--n" => args.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--seed" => args.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--scheduler" => args.scheduler = val()?,
+            "--corrupt" => args.corrupt = val()?.parse().map_err(|e| format!("--corrupt: {e}"))?,
+            "--dot" => args.dot = Some(val()?),
+            "--max-rounds" => {
+                args.max_rounds = val()?.parse().map_err(|e| format!("--max-rounds: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ssmdst [--family NAME] [--n N] [--seed S] \
+                     [--scheduler sync|async|adversarial] [--corrupt FRAC] \
+                     [--dot PATH] [--max-rounds R]\nfamilies: {}",
+                    GraphFamily::all()
+                        .iter()
+                        .map(|f| f.label())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let Some(family) = GraphFamily::all()
+        .iter()
+        .find(|f| f.label() == args.family)
+    else {
+        eprintln!(
+            "unknown family '{}'; available: {}",
+            args.family,
+            GraphFamily::all()
+                .iter()
+                .map(|f| f.label())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    };
+    let sched = match args.scheduler.as_str() {
+        "sync" => Scheduler::Synchronous,
+        "async" => Scheduler::RandomAsync { seed: args.seed },
+        "adversarial" => Scheduler::Adversarial { seed: args.seed },
+        other => {
+            eprintln!("unknown scheduler '{other}' (sync|async|adversarial)");
+            std::process::exit(2);
+        }
+    };
+
+    let g = family.generate(args.n, args.seed);
+    let lb = ssmdst::graph::degree_lower_bound(&g);
+    println!(
+        "graph: {} n={} m={} Δ(G)={} (Δ* ≥ {lb})",
+        family.label(),
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
+
+    let net = build_network(&g, Config::for_n(g.n()));
+    let mut runner = Runner::new(net, sched);
+    let quiet = (6 * g.n() as u64).max(64);
+    let out = runner.run_to_quiescence(args.max_rounds, quiet, oracle::projection);
+    if !out.converged() {
+        eprintln!("did not stabilize within {} rounds", args.max_rounds);
+        std::process::exit(1);
+    }
+    let t = oracle::try_extract_tree(&g, runner.network()).expect("stabilized ⇒ tree");
+    println!(
+        "stabilized: deg(T)={} after ~{} rounds, {} messages (largest {} bits)",
+        t.max_degree(),
+        runner.round() - quiet,
+        runner.network().metrics.total_sent,
+        runner.network().metrics.max_message_bits(),
+    );
+
+    if args.corrupt > 0.0 {
+        let victims = inject(
+            runner.network_mut(),
+            FaultPlan::partial(args.corrupt, args.seed + 1),
+        );
+        println!("injected fault: corrupted {} nodes", victims.len());
+        let before = runner.round();
+        let out = runner.run_to_quiescence(args.max_rounds, quiet, oracle::projection);
+        if !out.converged() {
+            eprintln!("did not recover within {} rounds", args.max_rounds);
+            std::process::exit(1);
+        }
+        let t = oracle::try_extract_tree(&g, runner.network()).expect("recovered ⇒ tree");
+        println!(
+            "recovered: deg(T)={} after ~{} rounds",
+            t.max_degree(),
+            runner.round() - before - quiet
+        );
+    }
+
+    if let Some(path) = args.dot {
+        let t = oracle::try_extract_tree(&g, runner.network()).expect("tree");
+        std::fs::write(&path, ssmdst::graph::dot::to_dot(&g, Some(&t)))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # ssmdst — self-stabilizing minimum-degree spanning tree
+//!
+//! Facade crate re-exporting the whole reproduction of Blin, Gradinariu
+//! Potop-Butucaru & Rovedakis, *"Self-stabilizing minimum-degree spanning
+//! tree within one from the optimal degree"* (IPDPS 2009):
+//!
+//! * [`graph`] — graph substrate: representation, generators, exact MDST,
+//!   lower bounds ([`ssmdst_graph`]);
+//! * [`sim`] — asynchronous message-passing simulator with FIFO channels,
+//!   schedulers and fault injection ([`ssmdst_sim`]);
+//! * [`core`] — the protocol itself ([`ssmdst_core`]);
+//! * [`baselines`] — Fürer–Raghavachari, serialized-improvement and naive
+//!   tree baselines ([`ssmdst_baselines`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ssmdst::prelude::*;
+//!
+//! // A network whose BFS tree is terrible (hub degree n−1) but whose
+//! // optimal spanning tree is a path (Δ* = 2).
+//! let g = ssmdst::graph::generators::structured::star_with_ring(8).unwrap();
+//!
+//! // Run the protocol until the global state is legitimate and low-degree.
+//! let net = ssmdst::core::build_network(&g, Config::for_n(g.n()));
+//! let mut runner = Runner::new(net, Scheduler::Synchronous);
+//! let out = runner.run_until(10_000, |net, _| {
+//!     ssmdst::core::oracle::current_degree(&g, net)
+//!         .map(|d| d <= 3)
+//!         .unwrap_or(false)
+//! });
+//! assert!(out.converged());
+//! ```
+
+pub use ssmdst_baselines as baselines;
+pub use ssmdst_core as core;
+pub use ssmdst_graph as graph;
+pub use ssmdst_sim as sim;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use ssmdst_baselines::{bfs_spanning_tree, fr_mdst, random_spanning_tree};
+    pub use ssmdst_core::{build_network, oracle, Config, MdstNode};
+    pub use ssmdst_graph::{Graph, GraphBuilder, SpanningTree};
+    pub use ssmdst_sim::{Network, RunOutcome, Runner, Scheduler};
+}

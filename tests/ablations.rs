@@ -1,0 +1,91 @@
+//! Integration: the ablation configurations of DESIGN.md (A1, A2) remain
+//! correct (self-stabilizing, tree-valid); the experiment harness measures
+//! their performance cost separately.
+
+use ssmdst::core::oracle;
+use ssmdst::graph::generators::GraphFamily;
+use ssmdst::prelude::*;
+use ssmdst::sim::faults::{inject, FaultPlan};
+
+fn quiet(n: usize) -> u64 {
+    (6 * n as u64).max(64)
+}
+
+/// A1: strict paper-style R2 still converges to a legitimate configuration.
+#[test]
+fn strict_mode_converges() {
+    let g = GraphFamily::GnpSparse.generate(12, 1);
+    let net = build_network(&g, Config::strict(g.n()));
+    let mut runner = Runner::new(net, Scheduler::Synchronous);
+    let out = runner.run_to_quiescence(300_000, quiet(g.n()), oracle::projection);
+    assert!(out.converged(), "strict mode stuck");
+    assert!(oracle::is_legitimate(&g, runner.network()));
+}
+
+/// A1: strict mode also recovers from corruption.
+#[test]
+fn strict_mode_recovers_from_faults() {
+    let g = GraphFamily::Grid.generate(9, 1);
+    let net = build_network(&g, Config::strict(g.n()));
+    let mut runner = Runner::new(net, Scheduler::RandomAsync { seed: 4 });
+    inject(runner.network_mut(), FaultPlan::total(5));
+    let out = runner.run_to_quiescence(300_000, quiet(g.n()), oracle::projection);
+    assert!(out.converged());
+    assert!(oracle::try_extract_tree(&g, runner.network()).is_some());
+}
+
+/// A2: with Deblock disabled the protocol still stabilizes to a valid
+/// spanning tree (the quality guarantee, not safety, is what degrades).
+#[test]
+fn no_deblock_still_safe() {
+    for fam in [GraphFamily::GnpDense, GraphFamily::ScaleFree] {
+        let g = fam.generate(12, 2);
+        let net = build_network(&g, Config::without_deblock(g.n()));
+        let mut runner = Runner::new(net, Scheduler::Synchronous);
+        let out = runner.run_to_quiescence(150_000, quiet(g.n()), oracle::projection);
+        assert!(out.converged(), "{}", fam.label());
+        let t = oracle::try_extract_tree(&g, runner.network()).expect("tree");
+        t.validate(&g).unwrap();
+    }
+}
+
+/// A2: Deblock never *hurts* quality — with it enabled the final degree is
+/// less than or equal to the no-deblock run on the same instance.
+#[test]
+fn deblock_never_hurts_quality() {
+    for seed in [3u64, 4, 5] {
+        let g = GraphFamily::GnpDense.generate(12, seed);
+        let run = |cfg: Config| {
+            let net = build_network(&g, cfg);
+            let mut runner = Runner::new(net, Scheduler::Synchronous);
+            let out =
+                runner.run_to_quiescence(150_000, quiet(g.n()), oracle::projection);
+            assert!(out.converged());
+            oracle::try_extract_tree(&g, runner.network())
+                .expect("tree")
+                .max_degree()
+        };
+        let with = run(Config::for_n(g.n()));
+        let without = run(Config::without_deblock(g.n()));
+        assert!(
+            with <= without,
+            "seed {seed}: deblock degraded quality ({with} > {without})"
+        );
+    }
+}
+
+/// Config search-period sanity: an aggressive (short) period still
+/// converges — throttles are performance knobs, not correctness knobs.
+#[test]
+fn short_search_period_still_converges() {
+    let g = GraphFamily::HamiltonianChords.generate(12, 6);
+    let cfg = Config {
+        search_period: 8,
+        ..Config::for_n(g.n())
+    };
+    let net = build_network(&g, cfg);
+    let mut runner = Runner::new(net, Scheduler::Synchronous);
+    let out = runner.run_to_quiescence(150_000, quiet(g.n()), oracle::projection);
+    assert!(out.converged());
+    assert!(oracle::is_legitimate(&g, runner.network()));
+}
