@@ -171,7 +171,9 @@ pub fn wilson_spanning_tree(g: &Graph, seed: u64) -> Result<SpanningTree, GraphE
 /// graphs whose good trees are rare — see the unit tests).
 pub fn best_of_random(g: &Graph, k: usize, seed: u64) -> Result<SpanningTree, GraphError> {
     if k == 0 {
-        return Err(GraphError::InvalidParameter("best_of_random: k must be >= 1"));
+        return Err(GraphError::InvalidParameter(
+            "best_of_random: k must be >= 1",
+        ));
     }
     let mut best: Option<SpanningTree> = None;
     for i in 0..k {

@@ -69,12 +69,8 @@ fn bench_schedulers(c: &mut Criterion) {
     ] {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let (res, _) = run_instance(
-                    black_box(&graph),
-                    Config::for_n(graph.n()),
-                    sched,
-                    200_000,
-                );
+                let (res, _) =
+                    run_instance(black_box(&graph), Config::for_n(graph.n()), sched, 200_000);
                 assert!(res.converged);
                 res.conv_round
             })

@@ -52,7 +52,11 @@ fn bench_fr(c: &mut Criterion) {
 fn bench_greedy(c: &mut Criterion) {
     let graph = GraphFamily::GnpDense.generate(48, 1);
     c.bench_function("greedy-min-degree-n48", |b| {
-        b.iter(|| greedy_min_degree_tree(black_box(&graph), 1).unwrap().max_degree())
+        b.iter(|| {
+            greedy_min_degree_tree(black_box(&graph), 1)
+                .unwrap()
+                .max_degree()
+        })
     });
 }
 

@@ -59,7 +59,12 @@ fn mean(xs: &[f64]) -> f64 {
 
 /// Ground truth for Δ*: exact when the solver budget allows, else `≥ lb`.
 fn delta_star_str(g: &Graph) -> (String, Option<u32>) {
-    let res = exact_mdst(g, SolveBudget { max_nodes: 2_000_000 });
+    let res = exact_mdst(
+        g,
+        SolveBudget {
+            max_nodes: 2_000_000,
+        },
+    );
     match res.delta_star() {
         Some(d) => (d.to_string(), Some(d)),
         None => (format!("≥{}", degree_lower_bound(g)), None),
@@ -69,7 +74,13 @@ fn delta_star_str(g: &Graph) -> (String, Option<u32>) {
 /// **T1 — Degree quality** (Theorem 2: `deg(T) ≤ Δ* + 1`).
 pub fn t1_degree_quality(p: &Profile) -> Table {
     let mut t = Table::new(vec![
-        "family", "n", "m", "Δ(G)", "deg(ssmdst)", "Δ*", "≤Δ*+1",
+        "family",
+        "n",
+        "m",
+        "Δ(G)",
+        "deg(ssmdst)",
+        "Δ*",
+        "≤Δ*+1",
     ]);
     for fam in GraphFamily::all() {
         for &n in &p.small_sizes {
@@ -290,7 +301,10 @@ pub fn f1_trajectory(p: &Profile) -> Table {
             "star-ring n=16",
             ssmdst_graph::generators::structured::star_with_ring(16).unwrap(),
         ),
-        ("gnp-dense n=24", GraphFamily::GnpDense.generate(24, p.seeds[0])),
+        (
+            "gnp-dense n=24",
+            GraphFamily::GnpDense.generate(24, p.seeds[0]),
+        ),
     ] {
         let (res, _) = run_instance(
             &g,
@@ -341,7 +355,11 @@ pub fn f2_fault_recovery(p: &Profile) -> Table {
             format!("{:.0}", mean(&rounds)),
             before.to_string(),
             after.to_string(),
-            if all_ok { "yes".into() } else { "NO".to_string() },
+            if all_ok {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     t
@@ -543,18 +561,14 @@ pub fn a2_deblock(p: &Profile) -> Table {
 /// trigger re-election storms; convergence slows or stalls (the round cap
 /// is reported when it does).
 pub fn a3_busy_latch(p: &Profile) -> Table {
-    let mut t = Table::new(vec![
-        "mode",
-        "family",
-        "n",
-        "rounds",
-        "converged",
-        "deg",
-    ]);
+    let mut t = Table::new(vec!["mode", "family", "n", "rounds", "converged", "deg"]);
     let n = *p.large_sizes.last().unwrap_or(&24);
     for (label, cfg_of) in [
         ("latched (default)", Config::for_n as fn(usize) -> Config),
-        ("unlatched", Config::without_busy_latch as fn(usize) -> Config),
+        (
+            "unlatched",
+            Config::without_busy_latch as fn(usize) -> Config,
+        ),
     ] {
         for fam in [GraphFamily::GnpSparse, GraphFamily::GnpDense] {
             let g = fam.generate(n, p.seeds[0]);
@@ -567,7 +581,11 @@ pub fn a3_busy_latch(p: &Profile) -> Table {
                 fam.label().to_string(),
                 g.n().to_string(),
                 res.conv_round.to_string(),
-                if res.converged { "yes".into() } else { format!("NO (cap {cap})") },
+                if res.converged {
+                    "yes".into()
+                } else {
+                    format!("NO (cap {cap})")
+                },
                 res.final_degree
                     .map(|d| d.to_string())
                     .unwrap_or("-".into()),

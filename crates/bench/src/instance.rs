@@ -140,14 +140,8 @@ mod tests {
     #[test]
     fn star_with_ring_instance_end_to_end() {
         let g = structured::star_with_ring(8).unwrap();
-        let (res, _) = run_instance(
-            &g,
-            Config::for_n(8),
-            Scheduler::Synchronous,
-            20_000,
-        );
+        let (res, _) = run_instance(&g, Config::for_n(8), Scheduler::Synchronous, 20_000);
         assert!(res.converged);
-        assert_eq!(res.final_degree, Some(3).min(res.final_degree)); // ≤ 3
         assert!(res.final_degree.unwrap() <= 3);
         assert!(res.total_msgs > 0);
         assert!(res.max_msg_bits > 0);

@@ -28,4 +28,4 @@ pub mod table;
 
 pub use experiments::Profile;
 pub use instance::{run_instance, run_more, InstanceResult};
-pub use table::Table;
+pub use table::{json_string, Table};

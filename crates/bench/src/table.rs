@@ -73,6 +73,44 @@ impl Table {
     }
 }
 
+impl Table {
+    /// Render as a JSON object `{"header": [...], "rows": [[...], ...]}`.
+    ///
+    /// Hand-rolled (the offline build has no serde_json); cells are plain
+    /// strings so escaping quotes/backslashes/control chars suffices.
+    pub fn to_json(&self) -> String {
+        let arr = |cells: &[String]| -> String {
+            let quoted: Vec<String> = cells.iter().map(|c| json_string(c)).collect();
+            format!("[{}]", quoted.join(","))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| arr(r)).collect();
+        format!(
+            "{{\"header\":{},\"rows\":[{}]}}",
+            arr(&self.header),
+            rows.join(",")
+        )
+    }
+}
+
+/// Escape and quote a string per RFC 8259.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 impl std::fmt::Display for Table {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
@@ -112,5 +150,19 @@ mod tests {
         let mut t = Table::new(vec!["h"]);
         t.row(vec!["v"]);
         assert_eq!(format!("{t}"), t.render());
+    }
+
+    #[test]
+    fn json_round_trips_structure_and_escapes() {
+        let mut t = Table::new(vec!["name", "val"]);
+        t.row(vec!["quote\"back\\slash", "tab\tnewline\n"]);
+        let j = t.to_json();
+        assert_eq!(
+            j,
+            "{\"header\":[\"name\",\"val\"],\
+             \"rows\":[[\"quote\\\"back\\\\slash\",\"tab\\tnewline\\n\"]]}"
+        );
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 }

@@ -105,6 +105,6 @@ mod tests {
     fn ablation_constructors() {
         assert!(Config::strict(10).strict_distance_reset);
         assert!(!Config::without_deblock(10).enable_deblock);
-        assert!(Config::without_deblock(10).strict_distance_reset == false);
+        assert!(!Config::without_deblock(10).strict_distance_reset);
     }
 }

@@ -52,9 +52,6 @@ pub type NodeId = u32;
 /// (but arbitrary-tree-free) initial states: every node starts as its own
 /// root, as after a total reset. For adversarial initial states, corrupt the
 /// network afterwards with `ssmdst_sim::faults`.
-pub fn build_network(
-    g: &ssmdst_graph::Graph,
-    config: Config,
-) -> ssmdst_sim::Network<MdstNode> {
+pub fn build_network(g: &ssmdst_graph::Graph, config: Config) -> ssmdst_sim::Network<MdstNode> {
     ssmdst_sim::Network::from_graph(g, |v, nbrs| MdstNode::new(v, nbrs, config.clone()))
 }

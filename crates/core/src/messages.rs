@@ -187,7 +187,8 @@ impl Message for Msg {
                 ..
             } => {
                 // init edge + dmax + optional idblock + flags
-                2 * b + b
+                2 * b
+                    + b
                     + idblock.map(|_| b).unwrap_or(1)
                     + path.len() * 2 * b
                     + visited.len() * b
@@ -224,7 +225,7 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct_labels() {
-        let msgs = vec![
+        let msgs = [
             info(),
             Msg::Search {
                 init: (0, 1),

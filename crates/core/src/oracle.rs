@@ -85,7 +85,11 @@ pub fn state_bits(node: &MdstNode, n: usize) -> usize {
 /// Maximum measured per-node state over the network (bits).
 pub fn max_state_bits(net: &Network<MdstNode>) -> usize {
     let n = net.n();
-    net.nodes().iter().map(|a| state_bits(a, n)).max().unwrap_or(0)
+    net.nodes()
+        .iter()
+        .map(|a| state_bits(a, n))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Legitimacy predicate of Definition 1 instantiated for the MDST spec:

@@ -526,14 +526,7 @@ impl MdstNode {
             return;
         }
         // Throttle repeated floods for the same blocker.
-        if self
-            .st
-            .deblock_cooldown
-            .get(&idblock)
-            .copied()
-            .unwrap_or(0)
-            > 0
-        {
+        if self.st.deblock_cooldown.get(&idblock).copied().unwrap_or(0) > 0 {
             return;
         }
         self.st
@@ -755,7 +748,11 @@ mod tests {
         assert_eq!(drained[0].0, 2);
         assert!(matches!(
             drained[0].1,
-            Msg::Deblock { idblock: 9, ttl: 2, .. }
+            Msg::Deblock {
+                idblock: 9,
+                ttl: 2,
+                ..
+            }
         ));
     }
 

@@ -109,7 +109,10 @@ impl NodeState {
             color: false,
             subtree_max: 0,
             dist_ceiling: u32::MAX,
-            nbr: neighbors.iter().map(|&u| (u, NbrView::unknown(u))).collect(),
+            nbr: neighbors
+                .iter()
+                .map(|&u| (u, NbrView::unknown(u)))
+                .collect(),
             search_cooldown: BTreeMap::new(),
             deblock_cooldown: BTreeMap::new(),
             busy: 0,
@@ -208,12 +211,17 @@ impl NodeState {
         !self.better_parent()
             && self.coherent_parent()
             && self.coherent_distance()
-            && self.neighbors.iter().all(|&u| self.view(u).root == self.root)
+            && self
+                .neighbors
+                .iter()
+                .all(|&u| self.view(u).root == self.root)
     }
 
     /// `degree_stabilized(v)`: all mirrors agree with my `dmax`.
     pub fn degree_stabilized(&self) -> bool {
-        self.neighbors.iter().all(|&u| self.view(u).dmax == self.dmax)
+        self.neighbors
+            .iter()
+            .all(|&u| self.view(u).dmax == self.dmax)
     }
 
     /// `color_stabilized(v)`: all mirrors carry my color bit.

@@ -128,10 +128,7 @@ mod tests {
     fn barbell_bridge_detected() {
         // Two triangles joined by one edge {2,3}: that edge is the bridge,
         // its endpoints are articulation points.
-        let g = graph_from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let bc = biconnectivity(&g);
         assert_eq!(bc.bridges, vec![(2, 3)]);
         assert_eq!(bc.articulation_points, vec![2, 3]);

@@ -79,8 +79,9 @@ mod tests {
         let g2 = random_geometric(20, 0.4, 9);
         assert_eq!(g1, g2);
         assert_eq!(pts.len(), 20);
-        assert!(pts.iter().all(|&(x, y)| (0.0..=1.0).contains(&x)
-            && (0.0..=1.0).contains(&y)));
+        assert!(pts
+            .iter()
+            .all(|&(x, y)| (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y)));
     }
 
     #[test]

@@ -153,7 +153,8 @@ pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.shuffle(&mut r);
     for i in 0..n {
-        b.add_edge_dedup(perm[i], perm[(i + 1) % n]).expect("cycle edge");
+        b.add_edge_dedup(perm[i], perm[(i + 1) % n])
+            .expect("cycle edge");
     }
     let mut deg = vec![2usize; n];
     let mut attempts = 0usize;

@@ -70,7 +70,9 @@ pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
 /// the solver's job.
 pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::InvalidParameter("grid: rows, cols must be >= 1"));
+        return Err(GraphError::InvalidParameter(
+            "grid: rows, cols must be >= 1",
+        ));
     }
     let id = |r: usize, c: usize| (r * cols + c) as NodeId;
     let mut b = GraphBuilder::new(rows * cols);
@@ -131,7 +133,9 @@ pub fn hypercube(dim: u32) -> Result<Graph, GraphError> {
 /// `n − 3` improvements to fix it.
 pub fn star_with_ring(n: usize) -> Result<Graph, GraphError> {
     if n < 4 {
-        return Err(GraphError::InvalidParameter("star_with_ring: n must be >= 4"));
+        return Err(GraphError::InvalidParameter(
+            "star_with_ring: n must be >= 4",
+        ));
     }
     let mut b = GraphBuilder::new(n);
     for v in 1..n as u32 {

@@ -10,6 +10,7 @@
 //! * O(log δ) adjacency tests via binary search.
 
 use crate::error::GraphError;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Dense node identifier, `0..n`.
@@ -23,7 +24,8 @@ pub type EdgeId = u32;
 /// Construct through [`GraphBuilder`] or the [`crate::generators`] module.
 /// Instances are immutable: the protocol treats the topology as static, as
 /// the paper does ("we consider a static topology").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Graph {
     n: u32,
     /// Sorted adjacency lists, one per node.
@@ -78,9 +80,7 @@ impl Graph {
 
     /// Whether `{u, v}` is an edge. O(log δ).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v
-            && (u as usize) < self.adj.len()
-            && self.adj[u as usize].binary_search(&v).is_ok()
+        u != v && (u as usize) < self.adj.len() && self.adj[u as usize].binary_search(&v).is_ok()
     }
 
     /// Canonical edge list: pairs `(u, v)` with `u < v`, lexicographically

@@ -23,7 +23,9 @@ pub struct SolveBudget {
 impl Default for SolveBudget {
     fn default() -> Self {
         // Enough for dense graphs up to ~n=24 and sparse ones far beyond.
-        SolveBudget { max_nodes: 5_000_000 }
+        SolveBudget {
+            max_nodes: 5_000_000,
+        }
     }
 }
 
@@ -31,9 +33,16 @@ impl Default for SolveBudget {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExactMdst {
     /// `Δ*` determined exactly, with a witness tree achieving it.
-    Exact { delta_star: u32, witness: SpanningTree },
+    Exact {
+        delta_star: u32,
+        witness: SpanningTree,
+    },
     /// Budget exhausted; `Δ*` lies in `[lower, upper]` (upper has a witness).
-    Bounded { lower: u32, upper: u32, witness: SpanningTree },
+    Bounded {
+        lower: u32,
+        upper: u32,
+        witness: SpanningTree,
+    },
 }
 
 impl ExactMdst {
@@ -219,7 +228,10 @@ pub fn exact_mdst(g: &Graph, budget: SolveBudget) -> ExactMdst {
     assert!(g.n() >= 1, "exact_mdst: empty graph");
     if g.n() == 1 {
         let witness = SpanningTree::from_parents(g, 0, vec![0]).expect("trivial");
-        return ExactMdst::Exact { delta_star: 0, witness };
+        return ExactMdst::Exact {
+            delta_star: 0,
+            witness,
+        };
     }
     let fallback = SpanningTree::from_bfs(g, 0).expect("connected graph");
     let lb = degree_lower_bound(g);

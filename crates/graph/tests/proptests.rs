@@ -108,6 +108,20 @@ proptest! {
         }
     }
 
+    /// The paper's within-one-of-optimal guarantee, via the
+    /// Fürer–Raghavachari witness bound: the exact optimum Δ* never exceeds
+    /// `degree_lower_bound + 1` on random connected graphs. (FR's Theorem 1
+    /// produces, alongside the ≤ Δ*+1 tree, a witness set S certifying
+    /// Δ* ≥ bound(S) ≥ deg(T) − 1; our heuristic witness search must stay
+    /// strong enough to preserve that sandwich.)
+    #[test]
+    fn exact_optimum_within_one_of_lower_bound(g in arb_graph()) {
+        let lb = degree_lower_bound(&g);
+        if let Some(ds) = exact_mdst(&g, SolveBudget { max_nodes: 500_000 }).delta_star() {
+            prop_assert!(ds <= lb + 1, "Δ* {ds} > lb+1 = {} (lb {lb})", lb + 1);
+        }
+    }
+
     /// Removing any bridge disconnects; removing any non-bridge does not.
     #[test]
     fn bridges_characterization(g in arb_graph()) {

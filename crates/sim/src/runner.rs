@@ -72,8 +72,7 @@ impl<A: Automaton> Runner<A> {
 
     /// Execute one full round.
     pub fn step_round(&mut self) {
-        let mut obligations: Vec<Action> =
-            (0..self.net.n() as NodeId).map(Action::Tick).collect();
+        let mut obligations: Vec<Action> = (0..self.net.n() as NodeId).map(Action::Tick).collect();
         // One delivery obligation per message currently in flight; the
         // runner re-pops the same channel that many times, preserving FIFO.
         for (from, to) in self.net.nonempty_channels() {

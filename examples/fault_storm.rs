@@ -44,8 +44,8 @@ fn main() {
         let before = runner.round();
         let out = runner.run_to_quiescence(400_000, quiet, oracle::projection);
         assert!(out.converged(), "burst {burst}: no recovery");
-        let t = oracle::try_extract_tree(&g, runner.network())
-            .expect("spanning tree after recovery");
+        let t =
+            oracle::try_extract_tree(&g, runner.network()).expect("spanning tree after recovery");
         t.validate(&g).expect("valid tree");
         println!(
             "burst {burst}: corrupted {:>2} nodes ({:>3.0}%) + dropped half the messages \

@@ -44,10 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = || {
-            it.next()
-                .ok_or_else(|| format!("missing value for {flag}"))
-        };
+        let mut val = || it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
             "--family" => args.family = val()?,
             "--n" => args.n = val()?.parse().map_err(|e| format!("--n: {e}"))?,
@@ -85,10 +82,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let Some(family) = GraphFamily::all()
-        .iter()
-        .find(|f| f.label() == args.family)
-    else {
+    let Some(family) = GraphFamily::all().iter().find(|f| f.label() == args.family) else {
         eprintln!(
             "unknown family '{}'; available: {}",
             args.family,

@@ -58,8 +58,7 @@ fn deblock_never_hurts_quality() {
         let run = |cfg: Config| {
             let net = build_network(&g, cfg);
             let mut runner = Runner::new(net, Scheduler::Synchronous);
-            let out =
-                runner.run_to_quiescence(150_000, quiet(g.n()), oracle::projection);
+            let out = runner.run_to_quiescence(150_000, quiet(g.n()), oracle::projection);
             assert!(out.converged());
             oracle::try_extract_tree(&g, runner.network())
                 .expect("tree")

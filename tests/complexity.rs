@@ -57,13 +57,9 @@ fn rounds_within_paper_bound() {
         let g = fam.generate(20, 4);
         let net = build_network(&g, Config::for_n(g.n()));
         let mut runner = Runner::new(net, Scheduler::Synchronous);
-        let bound =
-            (g.m() as f64) * (g.n() as f64).powi(2) * (g.n() as f64).log2();
-        let out = runner.run_to_quiescence(
-            bound as u64,
-            (6 * g.n() as u64).max(64),
-            oracle::projection,
-        );
+        let bound = (g.m() as f64) * (g.n() as f64).powi(2) * (g.n() as f64).log2();
+        let out =
+            runner.run_to_quiescence(bound as u64, (6 * g.n() as u64).max(64), oracle::projection);
         assert!(out.converged(), "{} exceeded the paper bound", fam.label());
     }
 }

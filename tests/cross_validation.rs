@@ -73,9 +73,15 @@ fn protocol_tracks_fr_quality() {
 fn fr_quality_independent_of_initial_tree() {
     use ssmdst::baselines::{dfs_spanning_tree, random_spanning_tree};
     let g = GraphFamily::HamiltonianChords.generate(16, 3);
-    let from_bfs = fr_mdst(&g, bfs_spanning_tree(&g, 0).unwrap()).0.max_degree();
-    let from_dfs = fr_mdst(&g, dfs_spanning_tree(&g, 0).unwrap()).0.max_degree();
-    let from_rnd = fr_mdst(&g, random_spanning_tree(&g, 4).unwrap()).0.max_degree();
+    let from_bfs = fr_mdst(&g, bfs_spanning_tree(&g, 0).unwrap())
+        .0
+        .max_degree();
+    let from_dfs = fr_mdst(&g, dfs_spanning_tree(&g, 0).unwrap())
+        .0
+        .max_degree();
+    let from_rnd = fr_mdst(&g, random_spanning_tree(&g, 4).unwrap())
+        .0
+        .max_degree();
     // Δ* = 2 by construction: all must be in {2, 3}.
     for d in [from_bfs, from_dfs, from_rnd] {
         assert!((2..=3).contains(&d), "degree {d}");

@@ -1,0 +1,73 @@
+//! Offline shim for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate. Only `crossbeam::thread::scope` is used by this workspace, and
+//! since Rust 1.63 the standard library provides scoped threads natively —
+//! the shim is a thin adapter over [`std::thread::scope`] mirroring
+//! crossbeam's closure signature (`spawn` passes the scope back in) and
+//! `Result` return.
+//!
+//! One behavioral difference: if a spawned thread panics, std's scope
+//! re-raises the panic at the end of `scope` instead of returning `Err`.
+//! Workspace callers `.expect()` the result, so both surface identically.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope again so
+        /// nested spawns work, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Mirror of `crossbeam::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scoped_threads_see_borrowed_state() {
+            let counter = AtomicUsize::new(0);
+            let out = super::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)))
+                    .collect();
+                let mut joined = 0;
+                for h in handles {
+                    h.join().unwrap();
+                    joined += 1;
+                }
+                joined
+            })
+            .unwrap();
+            assert_eq!(out, 8);
+            assert_eq!(counter.load(Ordering::Relaxed), 8);
+        }
+
+        #[test]
+        fn nested_spawn_through_passed_scope() {
+            let v = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(v, 42);
+        }
+    }
+}

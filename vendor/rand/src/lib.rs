@@ -1,0 +1,342 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! implements exactly the rand 0.9 API subset the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator seeded via
+//!   SplitMix64 ([`SeedableRng::seed_from_u64`]);
+//! * [`Rng::random`], [`Rng::random_range`], [`Rng::random_bool`];
+//! * [`seq::SliceRandom::shuffle`] and [`seq::IndexedRandom::choose`];
+//! * a [`prelude`] mirroring rand's.
+//!
+//! Everything is deterministic: there is deliberately no `thread_rng` /
+//! OS-entropy constructor, which enforces the workspace's explicit-seed
+//! policy. The streams differ from crates.io rand's, but all workspace
+//! tests fix their own seeds, so swapping the real crate back in only
+//! re-rolls the sampled instances, not the correctness of any test.
+
+/// A source of random `u32`/`u64` words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly "at large" by [`Rng::random`] (the shim's
+/// stand-in for rand's `StandardUniform` distribution).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types with an unbiased bounded sampler (Lemire's method with
+/// rejection), for [`Rng::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform in `[lo, hi)`. Caller guarantees `lo < hi`.
+    fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform in `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+#[inline]
+fn widening_bounded<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    // Lemire's nearly-divisionless unbiased bounded sampler.
+    debug_assert!(span > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (span as u128);
+    let mut low = m as u64;
+    if low < span {
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (span as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                lo.wrapping_add(widening_bounded(rng, span) as $t)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(widening_bounded(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+                  i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64);
+
+/// Range argument accepted by [`Rng::random_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl<T: UniformInt> SampleRange for core::ops::Range<T> {
+    type Output = T;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "random_range: empty range");
+        T::sample_below(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformInt> SampleRange for core::ops::RangeInclusive<T> {
+    type Output = T;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range<Rg: SampleRange>(&mut self, range: Rg) -> Rg::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via
+    /// SplitMix64. Deterministic, fast, and with 256 bits of state —
+    /// plenty for simulation workloads (not cryptographic).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next_sm = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Uniform element selection from indexable collections.
+    pub trait IndexedRandom {
+        type Output;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Output = T;
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::{IndexedRandom, SliceRandom};
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn std_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.random()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(xs, (0..32).map(|_| c.random()).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(0..=5u32);
+            assert!(y <= 5);
+            let f = rng.random_range(-1.5..2.5f64);
+            assert!((-1.5..2.5).contains(&f));
+        }
+        // Range endpoints are reachable.
+        let hits: std::collections::HashSet<u32> =
+            (0..1000).map(|_| rng.random_range(0..4u32)).collect();
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn unit_interval_and_bool() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut trues = 0usize;
+        for _ in 0..10_000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            if rng.random_bool(0.25) {
+                trues += 1;
+            }
+        }
+        assert!((1500..3500).contains(&trues), "p=0.25 gave {trues}/10000");
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_hits_all() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+
+        let pool = [1u32, 2, 3];
+        let seen: std::collections::HashSet<u32> =
+            (0..200).map(|_| *pool.choose(&mut rng).unwrap()).collect();
+        assert_eq!(seen.len(), 3);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
