@@ -41,6 +41,106 @@ fn runner_clone_hack(
     graph: &ssmdst_graph::Graph,
     _template: &Runner<ssmdst_core::MdstNode>,
 ) -> Runner<ssmdst_core::MdstNode> {
+    steady_state_runner(graph)
+}
+
+/// Old-vs-new engine: the same steady-state round driven by the indexed
+/// event queue (`step_round`) vs the pre-engine full rescan of every node
+/// and channel (`step_round_rescan`). Both execute the identical schedule
+/// (the equivalence is asserted by `event_engine_matches_rescan_engine` in
+/// ssmdst-sim), so the delta is pure obligation-discovery cost — the
+/// quantity the event-driven engine exists to shrink.
+fn bench_engine_compare(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine-compare");
+    g.sample_size(20);
+    for n in [16usize, 32] {
+        let graph = GraphFamily::GnpSparse.generate(n, 1);
+        g.bench_with_input(BenchmarkId::new("event-engine", n), &graph, |b, graph| {
+            let mut r = steady_state_runner(graph);
+            b.iter(|| {
+                r.step_round();
+                black_box(r.round())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("legacy-rescan", n), &graph, |b, graph| {
+            let mut r = steady_state_runner(graph);
+            b.iter(|| {
+                r.step_round_rescan();
+                black_box(r.round())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Sparse-activity workload: one sentinel node circulates a single token
+/// while everyone else is disabled — the regime where obligation
+/// *discovery* dominates obligation *execution*. A protocol round here has
+/// 2 obligations; the legacy path still rescans all `n` nodes and all
+/// `2m` channels to find them, while the event engine reads its indices.
+/// (The steady-state MDST rounds above are obligation-dominated — every
+/// node gossips every round — so the two engines tie there by design.)
+fn bench_sparse_activity(c: &mut Criterion) {
+    use ssmdst_sim::{Automaton, Message, Network, Outbox};
+
+    #[derive(Debug, Clone)]
+    struct Token;
+    impl Message for Token {
+        fn kind(&self) -> &'static str {
+            "Token"
+        }
+        fn size_bits(&self, _n: usize) -> usize {
+            1
+        }
+    }
+
+    struct Sentinel {
+        first_neighbor: Option<u32>,
+        active: bool,
+    }
+    impl Automaton for Sentinel {
+        type Msg = Token;
+        fn tick(&mut self, out: &mut Outbox<Token>) {
+            if let Some(w) = self.first_neighbor {
+                out.send(w, Token);
+            }
+        }
+        fn receive(&mut self, _: u32, _: Token, _: &mut Outbox<Token>) {}
+        fn enabled(&self) -> bool {
+            self.active
+        }
+    }
+
+    let mut g = c.benchmark_group("engine-compare-sparse");
+    g.sample_size(20);
+    for n in [256usize, 1024] {
+        let graph = GraphFamily::GnpSparse.generate(n, 1);
+        let make_net = || {
+            Network::from_graph(&graph, |v, nbrs| Sentinel {
+                first_neighbor: nbrs.first().copied(),
+                active: v == 0,
+            })
+        };
+        g.bench_with_input(BenchmarkId::new("event-engine", n), &(), |b, _| {
+            let mut r = Runner::new(make_net(), Scheduler::Synchronous);
+            b.iter(|| {
+                r.step_round();
+                black_box(r.round())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("legacy-rescan", n), &(), |b, _| {
+            let mut r = Runner::new(make_net(), Scheduler::Synchronous);
+            b.iter(|| {
+                r.step_round_rescan();
+                black_box(r.round())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// A converged runner for steady-state round measurements.
+fn steady_state_runner(graph: &ssmdst_graph::Graph) -> Runner<ssmdst_core::MdstNode> {
     let (_, r) = run_instance(
         graph,
         Config::for_n(graph.n()),
@@ -64,5 +164,11 @@ fn bench_network_build(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_round_throughput, bench_network_build);
+criterion_group!(
+    benches,
+    bench_round_throughput,
+    bench_engine_compare,
+    bench_sparse_activity,
+    bench_network_build
+);
 criterion_main!(benches);

@@ -45,7 +45,8 @@ fn main() {
         .collect();
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = [
-            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3",
+            "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "d1",
+            "d2", "d3",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -93,6 +94,18 @@ fn main() {
             "a3" => (
                 "A3 — ablation: busy latch disabled",
                 ex::a3_busy_latch(&profile),
+            ),
+            "d1" => (
+                "D1 — dynamic topology: edge churn re-convergence",
+                ex::d1_edge_churn(&profile),
+            ),
+            "d2" => (
+                "D2 — dynamic topology: node crash/rejoin re-convergence",
+                ex::d2_node_churn(&profile),
+            ),
+            "d3" => (
+                "D3 — dynamic topology: partition/heal re-convergence",
+                ex::d3_partition_heal(&profile),
             ),
             other => {
                 eprintln!("unknown experiment id: {other}");

@@ -5,14 +5,14 @@
 //! empirical section, so each experiment validates one of its *claims*;
 //! EXPERIMENTS.md records claim vs. measurement.
 
-use crate::instance::{run_instance, run_more};
+use crate::instance::{run_churn_scenario, run_instance, run_more};
 use crate::table::Table;
 use ssmdst_baselines as baselines;
 use ssmdst_core::Config;
 use ssmdst_graph::generators::GraphFamily;
 use ssmdst_graph::{degree_lower_bound, exact_mdst, Graph, SolveBudget};
 use ssmdst_sim::faults::{inject, FaultPlan};
-use ssmdst_sim::Scheduler;
+use ssmdst_sim::{Scheduler, TopologyPlan};
 
 /// Sweep sizing. `quick` keeps the full suite under ~a minute in release;
 /// `full` is the EXPERIMENTS.md configuration.
@@ -595,6 +595,68 @@ pub fn a3_busy_latch(p: &Profile) -> Table {
     t
 }
 
+/// Shared body of the D experiments: run `plan` on every daemon, one table
+/// row per (daemon, event), judged component-wise by `ssmdst_core::churn`.
+fn churn_table(g: &Graph, plan: &TopologyPlan, p: &Profile, label: &str) -> Table {
+    let mut t = Table::new(vec![
+        "scheduler",
+        "event",
+        "recovery rounds",
+        "components",
+        "deg",
+        "Δ*",
+        "≤Δ*+1",
+    ]);
+    for (name, sched) in [
+        ("synchronous", Scheduler::Synchronous),
+        ("random-async", Scheduler::RandomAsync { seed: 11 }),
+        ("adversarial", Scheduler::Adversarial { seed: 11 }),
+    ] {
+        let rows = run_churn_scenario(g, plan, Config::for_n(g.n()), sched, p.max_rounds);
+        for r in rows {
+            t.row(vec![
+                name.to_string(),
+                format!("{label}:{}", r.event),
+                r.recovery_rounds.to_string(),
+                r.components.to_string(),
+                r.degree.to_string(),
+                r.delta_star
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                if r.ok { "yes".into() } else { "NO".to_string() },
+            ]);
+        }
+    }
+    t
+}
+
+/// **D1 — Edge churn** (dynamic topology): remove and re-insert non-bridge
+/// edges; after each event the tree must re-fit the changed cycle space.
+pub fn d1_edge_churn(p: &Profile) -> Table {
+    let n = *p.small_sizes.first().unwrap_or(&12);
+    let g = GraphFamily::GnpSparse.generate(n, p.seeds[0]);
+    let plan = TopologyPlan::edge_churn(&g, 2, p.seeds[0]);
+    churn_table(&g, &plan, p, "edge")
+}
+
+/// **D2 — Node crash/rejoin**: non-articulation nodes crash (their edges
+/// and in-flight traffic vanish) and later rejoin with stale state.
+pub fn d2_node_churn(p: &Profile) -> Table {
+    let n = *p.small_sizes.first().unwrap_or(&12);
+    let g = GraphFamily::GnpSparse.generate(n, p.seeds[0]);
+    let plan = TopologyPlan::node_churn(&g, 2, p.seeds[0]);
+    churn_table(&g, &plan, p, "node")
+}
+
+/// **D3 — Partition/heal**: the network splits into halves that must each
+/// re-stabilize to their own tree, then merge back under a single root.
+pub fn d3_partition_heal(p: &Profile) -> Table {
+    let n = *p.small_sizes.first().unwrap_or(&12);
+    let g = GraphFamily::GnpSparse.generate(n, p.seeds[0]);
+    let plan = TopologyPlan::partition_heal(&g, p.seeds[0]);
+    churn_table(&g, &plan, p, "split")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -673,5 +735,33 @@ mod tests {
     fn f5_messages_within_nlogn_constant() {
         let t = f5_message_length(&tiny());
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn d1_edge_churn_recovers_on_every_daemon() {
+        let t = d1_edge_churn(&tiny());
+        // 3 daemons × (initial + 2 events per churned edge × 2 edges).
+        assert_eq!(t.len(), 3 * 5, "rows:\n{}", t.render());
+        assert!(!t.render().contains("NO"), "failure:\n{}", t.render());
+    }
+
+    #[test]
+    fn d2_node_churn_recovers_on_every_daemon() {
+        let t = d2_node_churn(&tiny());
+        assert!(t.len() >= 3 * 3, "rows:\n{}", t.render());
+        assert!(!t.render().contains("NO"), "failure:\n{}", t.render());
+    }
+
+    #[test]
+    fn d3_partition_heal_recovers_and_splits() {
+        let t = d3_partition_heal(&tiny());
+        assert_eq!(t.len(), 3 * 3, "rows:\n{}", t.render());
+        let s = t.render();
+        assert!(!s.contains("NO"), "failure:\n{s}");
+        // While partitioned there must be ≥ 2 components on some row.
+        assert!(
+            s.lines().any(|l| l.contains("split:partition")),
+            "missing partition rows:\n{s}"
+        );
     }
 }

@@ -35,10 +35,11 @@ pub struct InstanceResult {
     pub max_simultaneous_drops: usize,
 }
 
-/// Quiescence window used everywhere: long enough that a pending search
-/// wave (period 2n) plus an improvement (≤ 2n hops) cannot hide inside it.
+/// Quiescence window used everywhere — the simulator's canonical one, so
+/// the harness, the facade's `ssmdst::run` and the dynamic-topology tests
+/// all judge stability identically.
 pub fn quiet_window(n: usize) -> u64 {
-    (6 * n as u64).max(64)
+    ssmdst_sim::quiet_window(n)
 }
 
 /// Run the protocol on `g` until quiescence (or `max_rounds`), recording
@@ -132,6 +133,83 @@ pub fn run_more(g: &Graph, runner: &mut Runner<MdstNode>, max_rounds: u64) -> In
     }
 }
 
+/// One row of a dynamic-topology scenario: what happened, how long the
+/// re-convergence took, and what the re-converged forest looks like.
+#[derive(Debug, Clone)]
+pub struct ChurnOutcome {
+    /// Rendered churn event ("-edge(2,5)", "crash(3)", …), or "initial".
+    pub event: String,
+    /// Whether quiescence was reached before the round cap.
+    pub converged: bool,
+    /// Rounds from the event to the re-converged configuration (the
+    /// quiescence confirmation window is excluded, as in `conv_round`).
+    pub recovery_rounds: u64,
+    /// Number of connected components of the live topology.
+    pub components: usize,
+    /// Worst tree degree across components (0 if the check failed).
+    pub degree: u32,
+    /// Exact Δ* of the worst component when solvable (worst = the component
+    /// with the largest degree), else `None`.
+    pub delta_star: Option<u32>,
+    /// Whether every component re-stabilized to a tree within one of its
+    /// optimum.
+    pub ok: bool,
+}
+
+/// Drive one dynamic-topology scenario: converge on the initial graph,
+/// then apply each event of `plan` in turn, re-converging and re-judging
+/// the tree (component-wise, degree ≤ Δ*+1) after every event. The first
+/// returned row is the initial convergence.
+pub fn run_churn_scenario(
+    g: &Graph,
+    plan: &ssmdst_sim::TopologyPlan,
+    cfg: Config,
+    sched: Scheduler,
+    max_rounds: u64,
+) -> Vec<ChurnOutcome> {
+    use ssmdst_core::churn;
+    use ssmdst_graph::SolveBudget;
+
+    let budget = SolveBudget { max_nodes: 500_000 };
+    let quiet = quiet_window(g.n());
+    let net = ssmdst_core::build_network(g, cfg);
+    let mut runner = Runner::new(net, sched);
+    let mut rows = Vec::with_capacity(plan.events.len() + 1);
+    let mut measure = |runner: &mut Runner<MdstNode>, label: String| {
+        let out = runner.run_to_quiescence(max_rounds, quiet, oracle::projection);
+        let (components, degree, delta_star, ok) =
+            match churn::check_reconvergence(runner.network(), budget) {
+                Ok(reports) => {
+                    let worst = reports.iter().max_by_key(|r| r.degree);
+                    (
+                        reports.len(),
+                        worst.map(|r| r.degree).unwrap_or(0),
+                        worst.and_then(|r| r.delta_star),
+                        reports.iter().all(|r| r.within_one),
+                    )
+                }
+                Err(_) => (0, 0, None, false),
+            };
+        rows.push(ChurnOutcome {
+            event: label,
+            converged: out.converged(),
+            recovery_rounds: out
+                .rounds
+                .saturating_sub(if out.converged() { quiet } else { 0 }),
+            components,
+            degree,
+            delta_star,
+            ok: ok && out.converged(),
+        });
+    };
+    measure(&mut runner, "initial".to_string());
+    for ev in &plan.events {
+        ssmdst_sim::faults::apply_churn(runner.network_mut(), ev);
+        measure(&mut runner, ev.to_string());
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +237,20 @@ mod tests {
         assert!(res.converged);
         // A path stabilizes in O(n) rounds; the window must not be charged.
         assert!(res.conv_round < 100, "conv_round = {}", res.conv_round);
+    }
+
+    #[test]
+    fn churn_scenario_reports_one_row_per_event() {
+        let g = structured::cycle(8).unwrap();
+        let plan = ssmdst_sim::TopologyPlan::edge_churn(&g, 1, 3);
+        let rows = run_churn_scenario(&g, &plan, Config::for_n(8), Scheduler::Synchronous, 40_000);
+        assert_eq!(rows.len(), 3, "initial + remove + insert");
+        assert_eq!(rows[0].event, "initial");
+        assert!(rows.iter().all(|r| r.ok), "rows: {rows:?}");
+        // Removing a cycle edge leaves a path: a single component whose
+        // tree is forced (degree 2, Δ* 2).
+        assert_eq!(rows[1].components, 1);
+        assert_eq!(rows[1].degree, 2);
     }
 
     #[test]

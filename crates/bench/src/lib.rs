@@ -18,6 +18,15 @@
 //! | F5 | `O(n log n)` maximum message length |
 //! | A1 | ablation: strict vs gentle distance repair |
 //! | A2 | ablation: Deblock on/off |
+//! | A3 | ablation: busy latch on/off |
+//! | D1 | re-convergence under edge churn (dynamic topology) |
+//! | D2 | re-convergence under node crash/rejoin |
+//! | D3 | re-convergence across partition and heal |
+//!
+//! The D family exercises the regime the event-driven engine was built
+//! for: the topology changes between rounds ([`ssmdst_sim::TopologyPlan`])
+//! and the protocol must re-fit the tree to the new constraint set, judged
+//! component-wise by [`ssmdst_core::churn`].
 //!
 //! Run `cargo run --release -p ssmdst-bench --bin experiments -- all` to
 //! print everything; Criterion micro-benchmarks live in `benches/`.
@@ -27,5 +36,5 @@ pub mod instance;
 pub mod table;
 
 pub use experiments::Profile;
-pub use instance::{run_instance, run_more, InstanceResult};
+pub use instance::{run_churn_scenario, run_instance, run_more, ChurnOutcome, InstanceResult};
 pub use table::{json_string, Table};

@@ -27,8 +27,12 @@
 //!
 //! The [`oracle`] module gives centralized views used by tests and the
 //! experiment harness (never by the protocol itself): tree extraction,
-//! legitimacy predicates, quiescence projections.
+//! legitimacy predicates, quiescence projections. The [`churn`] module
+//! re-judges convergence against the *current* live topology after
+//! dynamic-topology faults — component-wise spanning trees within one of
+//! each component's optimum.
 
+pub mod churn;
 pub mod config;
 pub mod cycle_search;
 pub mod maxdeg;

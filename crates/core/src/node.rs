@@ -137,6 +137,41 @@ impl Automaton for MdstNode {
             }
         }
     }
+
+    /// The `Do forever` loop of Figure 2 never terminates: a correct node
+    /// always has an enabled spontaneous step (its periodic `InfoMsg`
+    /// gossip is what keeps mirrors fresh and searches flowing even at
+    /// quiescence). The engine's enabled-tick index therefore only shrinks
+    /// through crashes, which the network tracks separately.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Topology churn: refresh the neighbor list and drop every per-
+    /// neighbor structure referring to departed neighbors. Anything else —
+    /// a parent pointer at a removed neighbor, a root estimate learned
+    /// through a now-cut partition, `dmax` computed over the old tree — is
+    /// deliberately left stale: to the protocol a topology change is just
+    /// one more transient fault, and rules R1/R2 plus the PIF repair it.
+    fn on_topology_change(&mut self, neighbors: &[NodeId]) {
+        self.st.neighbors = neighbors.to_vec();
+        self.st
+            .nbr
+            .retain(|u, _| neighbors.binary_search(u).is_ok());
+        for &u in neighbors {
+            self.st
+                .nbr
+                .entry(u)
+                .or_insert_with(|| crate::state::NbrView::unknown(u));
+        }
+        self.st
+            .search_cooldown
+            .retain(|u, _| neighbors.binary_search(u).is_ok());
+        // Deblock cooldowns are keyed by blocker id (not necessarily a
+        // neighbor) and age out on their own; leave them.
+        self.apply_tree_rules();
+        self.st.recompute_derived();
+    }
 }
 
 impl Corrupt for MdstNode {
@@ -239,6 +274,38 @@ mod tests {
         let mut out = Outbox::new();
         n.tick(&mut out); // must not panic on garbage
         assert!(out.len() >= 2);
+    }
+
+    #[test]
+    fn topology_change_prunes_departed_neighbor_state() {
+        let mut n = node(); // neighbors [0, 2]
+        n.st.parent = 0;
+        n.st.root = 0;
+        n.st.distance = 1;
+        n.st.search_cooldown.insert(0, 5);
+        n.st.search_cooldown.insert(2, 5);
+        use ssmdst_sim::Automaton as _;
+        n.on_topology_change(&[2]); // neighbor 0 is gone
+        assert_eq!(n.state().neighbors, vec![2]);
+        assert!(!n.state().nbr.contains_key(&0));
+        assert!(!n.state().search_cooldown.contains_key(&0));
+        assert!(n.state().search_cooldown.contains_key(&2));
+        // The parent pointed at the departed neighbor: the tree rules must
+        // have resolved it (here R2 reset then R1 adopted neighbor 2's
+        // blank mirror advertising root 2 > ... or stayed self-rooted).
+        assert_ne!(n.state().parent, 0);
+    }
+
+    #[test]
+    fn topology_change_adds_blank_mirrors_for_new_neighbors() {
+        let mut n = node(); // neighbors [0, 2]
+        use ssmdst_sim::Automaton as _;
+        n.on_topology_change(&[0, 2, 3]);
+        assert_eq!(n.state().neighbors, vec![0, 2, 3]);
+        assert_eq!(
+            n.state().nbr.get(&3),
+            Some(&crate::state::NbrView::unknown(3))
+        );
     }
 
     #[test]

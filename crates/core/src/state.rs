@@ -48,7 +48,8 @@ impl NbrView {
 pub struct NodeState {
     /// This node's identifier (also its unique ID for tie-breaking).
     pub id: NodeId,
-    /// Sorted neighbor list (static topology).
+    /// Sorted neighbor list, kept in sync with the live topology by the
+    /// simulator's topology-change hook (edge churn, crashes, rejoins).
     pub neighbors: Vec<NodeId>,
 
     // ------ the paper's variables ------

@@ -37,6 +37,24 @@ pub trait Automaton {
     /// One receive atomic step: consume `msg` from the FIFO channel
     /// `from → self`, update local state, enqueue sends.
     fn receive(&mut self, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// Whether the node currently has an enabled spontaneous step. The
+    /// event-driven runner keeps an incremental index of enabled ticks and
+    /// re-evaluates this predicate only for nodes whose state changed since
+    /// the last round (dirty flags), so implementations must derive the
+    /// answer purely from local state. The default — always enabled —
+    /// matches the paper's `Do forever` loop, which never terminates.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Topology-change hook: called by the network after this node's
+    /// neighbor set changes (edge churn, a neighbor crashing or rejoining).
+    /// `neighbors` is the new sorted neighbor list. Implementations should
+    /// refresh any captured neighbor state; the default ignores the event,
+    /// which is only safe for automata that never send (stale sends after
+    /// churn are dropped and counted, not delivered).
+    fn on_topology_change(&mut self, _neighbors: &[NodeId]) {}
 }
 
 /// Send buffer for a single atomic step.

@@ -1,0 +1,222 @@
+//! The pending-event queue behind the event-driven runner.
+//!
+//! A round's obligations are *one tick per enabled node* plus *one delivery
+//! per message in flight at round start*. The old runner recomputed that
+//! set by scanning every node and every channel (`O(n + #channels)` per
+//! round even when almost nothing was happening); this queue derives it
+//! from two incremental indices instead:
+//!
+//! * the **tick index** ([`EventQueue::ticks`]): the sorted set of nodes
+//!   that are alive and whose [`Automaton::enabled`] predicate holds. It is
+//!   refreshed from the network's dirty-node list — only nodes whose state
+//!   actually changed since the previous round are re-evaluated, an
+//!   `O(#changes · log n)` maintenance cost;
+//! * the network's **occupancy index**
+//!   ([`Network::nonempty_channels`]): non-empty channels are enumerated
+//!   directly, so delivery obligations cost `O(#obligations)` to list, not
+//!   `O(#channels)` to discover.
+//!
+//! Each obligation is assigned a daemon-specific priority key
+//! ([`crate::scheduler::KeySource`]) at enumeration time and the batch is
+//! executed in ascending `(key, enumeration index)` order — `O(log k)`
+//! amortized per event, fully deterministic per `(scheduler, seed)`.
+
+use crate::automaton::Automaton;
+use crate::network::Network;
+use crate::scheduler::{Action, KeySource};
+use crate::NodeId;
+use std::collections::BTreeSet;
+
+/// One pending event: daemon priority key, enumeration index (total-order
+/// tie-break), and the action itself.
+type Pending = (u128, u32, Action);
+
+/// Incremental obligation tracker + per-round pending-event buffer.
+pub(crate) struct EventQueue {
+    /// Alive nodes whose `enabled()` predicate held at last refresh.
+    ticks: BTreeSet<NodeId>,
+    /// Reusable buffer for the current round's keyed events.
+    buf: Vec<Pending>,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            ticks: BTreeSet::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    /// Re-evaluate the enabled-tick predicate for every node the network
+    /// marked dirty since the last call.
+    pub(crate) fn refresh<A: Automaton>(&mut self, net: &mut Network<A>) {
+        for v in net.take_dirty() {
+            if net.is_alive(v) && net.node(v).enabled() {
+                self.ticks.insert(v);
+            } else {
+                self.ticks.remove(&v);
+            }
+        }
+    }
+
+    /// Build this round's pending events (canonical enumeration order:
+    /// ticks ascending, then channel deliveries in channel order) and hand
+    /// them back sorted into daemon execution order.
+    pub(crate) fn schedule<A: Automaton>(
+        &mut self,
+        round: u64,
+        keys: &mut KeySource,
+        net: &Network<A>,
+    ) -> &[Pending] {
+        self.buf.clear();
+        let mut seq = 0u32;
+        for &v in &self.ticks {
+            let a = Action::Tick(v);
+            self.buf.push((keys.key(round, &a), seq, a));
+            seq += 1;
+        }
+        for (from, to) in net.occupied_channels() {
+            let a = Action::Deliver(from, to);
+            for _ in 0..net.channel_len(from, to) {
+                self.buf.push((keys.key(round, &a), seq, a));
+                seq += 1;
+            }
+        }
+        self.buf.sort_unstable_by_key(|e| (e.0, e.1));
+        &self.buf
+    }
+
+    /// Like [`EventQueue::schedule`], but enumerating obligations the
+    /// pre-engine way — full scans over all nodes and all channels. Same
+    /// obligations, same keys, same execution order; only the discovery
+    /// cost differs. Kept for the old-vs-new throughput benchmarks and as a
+    /// live cross-check that the incremental indices are consistent.
+    pub(crate) fn schedule_rescan<A: Automaton>(
+        &mut self,
+        round: u64,
+        keys: &mut KeySource,
+        net: &Network<A>,
+    ) -> &[Pending] {
+        self.buf.clear();
+        let mut seq = 0u32;
+        for v in 0..net.n() as NodeId {
+            if net.is_alive(v) && net.node(v).enabled() {
+                let a = Action::Tick(v);
+                self.buf.push((keys.key(round, &a), seq, a));
+                seq += 1;
+            }
+        }
+        for (from, to) in net.scan_nonempty_channels() {
+            let a = Action::Deliver(from, to);
+            for _ in 0..net.channel_len(from, to) {
+                self.buf.push((keys.key(round, &a), seq, a));
+                seq += 1;
+            }
+        }
+        self.buf.sort_unstable_by_key(|e| (e.0, e.1));
+        &self.buf
+    }
+
+    /// Current number of enabled ticks (for diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn enabled_ticks(&self) -> usize {
+        self.ticks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{Message, Outbox};
+    use crate::scheduler::Scheduler;
+    use ssmdst_graph::graph::graph_from_edges;
+
+    /// Automaton whose enabled predicate is a toggle, to exercise the
+    /// dirty-flag path.
+    #[derive(Debug)]
+    struct Gate {
+        neighbors: Vec<NodeId>,
+        open: bool,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Unit;
+    impl Message for Unit {
+        fn kind(&self) -> &'static str {
+            "Unit"
+        }
+        fn size_bits(&self, _n: usize) -> usize {
+            1
+        }
+    }
+
+    impl Automaton for Gate {
+        type Msg = Unit;
+        fn tick(&mut self, out: &mut Outbox<Unit>) {
+            for &w in &self.neighbors {
+                out.send(w, Unit);
+            }
+        }
+        fn receive(&mut self, _: NodeId, _: Unit, _: &mut Outbox<Unit>) {}
+        fn enabled(&self) -> bool {
+            self.open
+        }
+        fn on_topology_change(&mut self, neighbors: &[NodeId]) {
+            self.neighbors = neighbors.to_vec();
+        }
+    }
+
+    fn net(open: bool) -> Network<Gate> {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        Network::from_graph(&g, |_, nbrs| Gate {
+            neighbors: nbrs.to_vec(),
+            open,
+        })
+    }
+
+    #[test]
+    fn tick_index_tracks_enabled_predicate() {
+        let mut n = net(true);
+        let mut q = EventQueue::new();
+        q.refresh(&mut n);
+        assert_eq!(q.enabled_ticks(), 3);
+        // Disable node 1; the network marks it dirty through node_mut.
+        n.node_mut(1).open = false;
+        q.refresh(&mut n);
+        assert_eq!(q.enabled_ticks(), 2);
+        n.node_mut(1).open = true;
+        q.refresh(&mut n);
+        assert_eq!(q.enabled_ticks(), 3);
+    }
+
+    #[test]
+    fn crashed_nodes_leave_the_tick_index() {
+        let mut n = net(true);
+        let mut q = EventQueue::new();
+        q.refresh(&mut n);
+        n.crash_node(2);
+        q.refresh(&mut n);
+        assert_eq!(q.enabled_ticks(), 2);
+        n.rejoin_node(2);
+        q.refresh(&mut n);
+        assert_eq!(q.enabled_ticks(), 3);
+    }
+
+    #[test]
+    fn indexed_and_rescan_schedules_agree() {
+        let mut n = net(true);
+        let mut q = EventQueue::new();
+        q.refresh(&mut n);
+        n.tick_node(0);
+        n.tick_node(1);
+        q.refresh(&mut n);
+        for sched in [Scheduler::Synchronous, Scheduler::Adversarial { seed: 3 }] {
+            let mut k1 = KeySource::new(sched);
+            let mut k2 = KeySource::new(sched);
+            let a = q.schedule(5, &mut k1, &n).to_vec();
+            let b = q.schedule_rescan(5, &mut k2, &n).to_vec();
+            assert_eq!(a, b, "engines disagree under {sched:?}");
+            assert_eq!(a.len(), 3 + 3, "3 ticks + 3 in-flight messages");
+        }
+    }
+}

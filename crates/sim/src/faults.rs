@@ -1,14 +1,21 @@
-//! Transient-fault injection — the adversary of Definition 1.
+//! Transient-fault injection — the adversary of Definition 1 — plus the
+//! dynamic-topology adversary.
 //!
 //! Self-stabilization is convergence from an *arbitrary* configuration:
 //! corrupted local variables, corrupted neighbor mirrors, arbitrary channel
-//! contents. The simulator realizes that adversary in two ways:
+//! contents. The simulator realizes that adversary in three ways:
 //!
 //! 1. **Corrupt-at-birth**: build automata with randomized garbage state
 //!    (the protocol crate's constructors take an "initial state" policy);
 //! 2. **Runtime corruption** via [`Corrupt`] + [`inject`]: after the system
 //!    stabilizes, scramble a fraction of the nodes and optionally the
-//!    channels, then measure re-convergence (experiment F2).
+//!    channels, then measure re-convergence (experiment F2);
+//! 3. **Topology churn** via [`ChurnEvent`] / [`TopologyPlan`] +
+//!    [`apply_churn`]: edges are removed and inserted, nodes crash and
+//!    rejoin with stale state, partitions form and heal. Every churn event
+//!    changes the constraint set the protocol is fitting, so the
+//!    interesting measurement is *re-convergence after each event*
+//!    (experiment family D).
 
 use crate::automaton::Automaton;
 use crate::network::Network;
@@ -16,6 +23,7 @@ use crate::NodeId;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ssmdst_graph::{biconnectivity, Graph};
 
 /// Automata that can have their state scrambled by the transient-fault
 /// adversary.
@@ -77,6 +85,161 @@ pub fn inject<A: Automaton + Corrupt>(net: &mut Network<A>, plan: FaultPlan) -> 
         net.drop_in_flight(plan.message_drop, &mut rng);
     }
     victims
+}
+
+// ----------------------------------------------------------------------
+// Dynamic topology: churn events and fault plans
+// ----------------------------------------------------------------------
+
+/// One dynamic-topology fault: a structural change applied between rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Remove the undirected edge `{u, v}`; in-flight messages on it are
+    /// lost.
+    RemoveEdge(NodeId, NodeId),
+    /// Insert the undirected edge `{u, v}` with fresh empty channels.
+    InsertEdge(NodeId, NodeId),
+    /// Crash node `v`: it stops stepping, its incident edges disappear.
+    CrashNode(NodeId),
+    /// Rejoin a crashed node with whatever stale state it crashed with.
+    RejoinNode(NodeId),
+    /// Cut every listed edge at once (a network partition).
+    Partition(Vec<(NodeId, NodeId)>),
+    /// Re-insert every listed edge at once (the partition heals).
+    Heal(Vec<(NodeId, NodeId)>),
+}
+
+impl std::fmt::Display for ChurnEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnEvent::RemoveEdge(u, v) => write!(f, "-edge({u},{v})"),
+            ChurnEvent::InsertEdge(u, v) => write!(f, "+edge({u},{v})"),
+            ChurnEvent::CrashNode(v) => write!(f, "crash({v})"),
+            ChurnEvent::RejoinNode(v) => write!(f, "rejoin({v})"),
+            ChurnEvent::Partition(cut) => write!(f, "partition(|cut|={})", cut.len()),
+            ChurnEvent::Heal(cut) => write!(f, "heal(|cut|={})", cut.len()),
+        }
+    }
+}
+
+/// Apply one churn event to the network. Returns the number of structural
+/// mutations actually performed (0 means the event was a no-op, e.g.
+/// removing an edge that is already gone).
+pub fn apply_churn<A: Automaton>(net: &mut Network<A>, ev: &ChurnEvent) -> usize {
+    match ev {
+        ChurnEvent::RemoveEdge(u, v) => net.remove_edge(*u, *v) as usize,
+        ChurnEvent::InsertEdge(u, v) => net.insert_edge(*u, *v) as usize,
+        ChurnEvent::CrashNode(v) => net.crash_node(*v) as usize,
+        ChurnEvent::RejoinNode(v) => net.rejoin_node(*v) as usize,
+        ChurnEvent::Partition(cut) => cut.iter().filter(|&&(u, v)| net.remove_edge(u, v)).count(),
+        ChurnEvent::Heal(cut) => cut.iter().filter(|&&(u, v)| net.insert_edge(u, v)).count(),
+    }
+}
+
+/// An ordered sequence of churn events. The experiment driver applies one
+/// event, lets the protocol re-stabilize, checks the re-converged tree,
+/// then applies the next — measuring exactly the re-convergence-under-
+/// perturbation regime of the iterative-fitting literature.
+#[derive(Debug, Clone, Default)]
+pub struct TopologyPlan {
+    /// Events in application order.
+    pub events: Vec<ChurnEvent>,
+}
+
+impl TopologyPlan {
+    /// Edge churn: pick up to `k` distinct non-bridge edges of `g` (seeded
+    /// choice) and alternate removing and re-inserting each, so the graph
+    /// stays connected at every step and every event forces the tree to
+    /// re-fit a changed cycle space.
+    pub fn edge_churn(g: &Graph, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bridges = biconnectivity(g).bridges;
+        let mut candidates: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(u, v)| {
+                let e = if u < v { (u, v) } else { (v, u) };
+                bridges.binary_search(&e).is_err()
+            })
+            .collect();
+        candidates.shuffle(&mut rng);
+        candidates.truncate(k);
+        let mut events = Vec::with_capacity(2 * candidates.len());
+        for (u, v) in candidates {
+            events.push(ChurnEvent::RemoveEdge(u, v));
+            events.push(ChurnEvent::InsertEdge(u, v));
+        }
+        TopologyPlan { events }
+    }
+
+    /// Node churn: pick up to `k` non-articulation nodes (seeded choice)
+    /// and crash/rejoin each in turn, so the surviving subgraph stays
+    /// connected while crashed.
+    pub fn node_churn(g: &Graph, k: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arts = biconnectivity(g).articulation_points;
+        let mut candidates: Vec<NodeId> = g
+            .nodes()
+            .filter(|v| arts.binary_search(v).is_err())
+            .collect();
+        candidates.shuffle(&mut rng);
+        candidates.truncate(k);
+        let mut events = Vec::with_capacity(2 * candidates.len());
+        for v in candidates {
+            events.push(ChurnEvent::CrashNode(v));
+            events.push(ChurnEvent::RejoinNode(v));
+        }
+        TopologyPlan { events }
+    }
+
+    /// Partition/heal: split the vertex set in half by BFS order from a
+    /// seeded start node, cut every crossing edge at once, then heal them
+    /// all. While split, each side must independently re-stabilize to its
+    /// own tree; after healing, the sides must merge back under one root.
+    pub fn partition_heal(g: &Graph, seed: u64) -> Self {
+        if g.n() == 0 {
+            return TopologyPlan::default();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = rng.random_range(0..g.n()) as NodeId;
+        // BFS from `start`; the first half of the visit order is side A.
+        let mut side_a = vec![false; g.n()];
+        let mut order = Vec::with_capacity(g.n());
+        let mut seen = vec![false; g.n()];
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start as usize] = true;
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in g.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        for &v in order.iter().take(g.n() / 2) {
+            side_a[v as usize] = true;
+        }
+        let cut: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|&(u, v)| side_a[u as usize] != side_a[v as usize])
+            .collect();
+        TopologyPlan {
+            events: vec![ChurnEvent::Partition(cut.clone()), ChurnEvent::Heal(cut)],
+        }
+    }
+
+    /// A mixed scenario: edge churn, then node churn, then partition/heal —
+    /// the full dynamic-topology gauntlet used by the D experiments.
+    pub fn gauntlet(g: &Graph, seed: u64) -> Self {
+        let mut events = Self::edge_churn(g, 2, seed).events;
+        events.extend(Self::node_churn(g, 1, seed.wrapping_add(1)).events);
+        events.extend(Self::partition_heal(g, seed.wrapping_add(2)).events);
+        TopologyPlan { events }
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +326,74 @@ mod tests {
         let victims = inject(&mut n, FaultPlan::partial(0.0, 1));
         assert!(victims.is_empty());
         assert!(n.nodes().iter().all(|c| c.value == 0));
+    }
+
+    #[test]
+    fn edge_churn_plan_avoids_bridges() {
+        // A path is all bridges: no candidates, empty plan.
+        let p = ssmdst_graph::generators::structured::path(6).unwrap();
+        assert!(TopologyPlan::edge_churn(&p, 3, 1).events.is_empty());
+        // A cycle has no bridges: every edge qualifies.
+        let c = cycle(8).unwrap();
+        let plan = TopologyPlan::edge_churn(&c, 3, 1);
+        assert_eq!(plan.events.len(), 6, "remove+insert per chosen edge");
+        for pair in plan.events.chunks(2) {
+            match (&pair[0], &pair[1]) {
+                (ChurnEvent::RemoveEdge(a, b), ChurnEvent::InsertEdge(c, d)) => {
+                    assert_eq!((a, b), (c, d), "each edge comes back");
+                }
+                other => panic!("unexpected event pair {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn node_churn_plan_avoids_articulation_points() {
+        // star_with_ring? keep it simple: a path's interior nodes are all
+        // articulation points, so only the two endpoints qualify.
+        let p = ssmdst_graph::generators::structured::path(6).unwrap();
+        let plan = TopologyPlan::node_churn(&p, 10, 3);
+        assert_eq!(plan.events.len(), 4, "only the 2 endpoints are safe");
+        for pair in plan.events.chunks(2) {
+            assert!(matches!(pair[0], ChurnEvent::CrashNode(v) if v == 0 || v == 5));
+            assert!(matches!(pair[1], ChurnEvent::RejoinNode(_)));
+        }
+    }
+
+    #[test]
+    fn partition_heal_plan_cuts_and_restores_the_same_edges() {
+        let c = cycle(10).unwrap();
+        let plan = TopologyPlan::partition_heal(&c, 7);
+        assert_eq!(plan.events.len(), 2);
+        let (ChurnEvent::Partition(cut), ChurnEvent::Heal(heal)) =
+            (&plan.events[0], &plan.events[1])
+        else {
+            panic!("unexpected plan shape {:?}", plan.events);
+        };
+        assert_eq!(cut, heal);
+        assert_eq!(cut.len(), 2, "a cycle split in two halves has a 2-edge cut");
+    }
+
+    #[test]
+    fn apply_churn_counts_mutations_and_is_idempotent_on_noops() {
+        let mut n = net(); // 10-cycle
+        let ev = ChurnEvent::RemoveEdge(0, 1);
+        assert_eq!(apply_churn(&mut n, &ev), 1);
+        assert_eq!(apply_churn(&mut n, &ev), 0, "already removed");
+        let heal = ChurnEvent::Heal(vec![(0, 1), (5, 6)]);
+        // (5,6) still exists, only (0,1) is re-inserted.
+        assert_eq!(apply_churn(&mut n, &heal), 1);
+        assert_eq!(apply_churn(&mut n, &ChurnEvent::CrashNode(3)), 1);
+        assert_eq!(apply_churn(&mut n, &ChurnEvent::RejoinNode(3)), 1);
+    }
+
+    #[test]
+    fn churn_events_render_for_tables() {
+        assert_eq!(ChurnEvent::RemoveEdge(1, 2).to_string(), "-edge(1,2)");
+        assert_eq!(ChurnEvent::CrashNode(7).to_string(), "crash(7)");
+        assert_eq!(
+            ChurnEvent::Partition(vec![(0, 1), (2, 3)]).to_string(),
+            "partition(|cut|=2)"
+        );
     }
 }

@@ -21,12 +21,24 @@
 //!   is in these rounds;
 //! * **transient faults** ([`faults`]) corrupt node state and channel
 //!   contents arbitrarily — the adversary self-stabilization is defined
-//!   against (Definition 1).
+//!   against (Definition 1);
+//! * **dynamic topology** ([`faults::ChurnEvent`], [`Network::remove_edge`]
+//!   and friends): edges appear and disappear, nodes crash and rejoin,
+//!   partitions form and heal — the churn regime under which
+//!   re-convergence is measured.
+//!
+//! The run loop is an **event-driven engine** (see [`runner::Runner`]):
+//! per-round obligations are derived from two
+//! incremental indices — an enabled-tick set maintained via dirty flags on
+//! node state, and a channel occupancy index — instead of per-round
+//! `O(n + #channels)` rescans. All three daemons stay bit-for-bit
+//! deterministic per seed.
 //!
 //! The crate is generic over the protocol: the MDST protocol lives in
 //! `ssmdst-core`, and the simulator only sees [`Automaton`] + [`Message`].
 
 pub mod automaton;
+pub(crate) mod events;
 pub mod faults;
 pub mod metrics;
 pub mod network;
@@ -36,10 +48,10 @@ pub mod scheduler;
 pub mod trace;
 
 pub use automaton::{Automaton, Message, Outbox};
-pub use faults::Corrupt;
+pub use faults::{ChurnEvent, Corrupt, TopologyPlan};
 pub use metrics::{KindStats, Metrics};
 pub use network::Network;
-pub use runner::{RunOutcome, Runner, StopReason};
+pub use runner::{quiet_window, RunOutcome, Runner, StopReason};
 pub use scheduler::Scheduler;
 pub use trace::{ChangeSeries, StabilityWindow};
 

@@ -32,6 +32,10 @@ pub struct Metrics {
     /// Peak number of undelivered messages across all channels (buffer
     /// occupancy high-water mark).
     pub peak_in_flight: usize,
+    /// Sends addressed to a departed neighbor after topology churn; such
+    /// messages are lost in transit rather than delivered (the static-
+    /// topology invariant treats them as a bug and panics instead).
+    pub dropped_sends: u64,
 }
 
 impl Metrics {

@@ -1,26 +1,65 @@
-//! The network: automata + directed FIFO channels over a static topology.
+//! The network: automata + directed FIFO channels over a dynamic topology.
+//!
+//! Besides the classic static wiring, the network maintains the two
+//! **incremental indices** the event-driven [`crate::runner::Runner`] is
+//! built on:
+//!
+//! * an **occupancy index** (`occupied`): the sorted set of directed edges
+//!   whose channel is non-empty, updated in `O(log m)` on every
+//!   empty↔non-empty transition, so a round's delivery obligations are
+//!   enumerated in `O(#obligations)` instead of `O(#channels)`;
+//! * a **dirty-node list**: every node whose automaton state may have
+//!   changed since the engine last looked (tick, receive, fault injection,
+//!   topology change) is queued exactly once, so the engine re-evaluates
+//!   [`Automaton::enabled`] only where something happened instead of
+//!   rescanning all `n` nodes per round.
+//!
+//! **Dynamic topology**: [`Network::remove_edge`], [`Network::insert_edge`],
+//! [`Network::crash_node`], [`Network::rejoin_node`] mutate the live
+//! topology between rounds. Messages in flight on a removed channel are
+//! lost (link failure loses traffic), and once any churn has occurred,
+//! sends addressed to a departed neighbor are counted in
+//! [`Metrics::dropped_sends`] and dropped instead of panicking — an
+//! automaton acting on a stale neighbor mirror is expected behavior in the
+//! churn regime, and self-stabilization is exactly the property that
+//! recovers from it.
 
 use crate::automaton::{Automaton, Message, Outbox};
 use crate::metrics::Metrics;
 use crate::NodeId;
-use ssmdst_graph::Graph;
-use std::collections::{BTreeMap, VecDeque};
+use ssmdst_graph::{Graph, GraphBuilder};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A network of `n` automata connected by reliable FIFO channels, one pair
-/// per undirected edge of the host graph.
+/// per undirected edge of the (current) host topology.
 ///
 /// Invariants enforced at runtime (catching protocol bugs early):
-/// * nodes may only send to their one-hop neighbors (the paper's locality),
+/// * nodes may only send to their one-hop neighbors (the paper's locality);
+///   on a static topology a violation panics, after topology churn it is
+///   accounted as a dropped send,
 /// * channels deliver in FIFO order and never drop messages on their own —
-///   loss happens only through explicit fault injection.
+///   loss happens only through explicit fault injection or edge removal.
 pub struct Network<A: Automaton> {
     nodes: Vec<A>,
     topo: Vec<Vec<NodeId>>,
+    /// Liveness mask: crashed nodes take no steps and hold no channels.
+    alive: Vec<bool>,
     /// Directed edge `(from, to)` → channel index.
     chan_index: BTreeMap<(NodeId, NodeId), usize>,
     /// One FIFO queue per directed edge.
     channels: Vec<VecDeque<A::Msg>>,
+    /// Channel slots recycled by edge removal.
+    free_channels: Vec<usize>,
+    /// Occupancy index: directed edges with a non-empty channel, sorted.
+    occupied: BTreeSet<(NodeId, NodeId)>,
     in_flight: usize,
+    /// Dirty-node tracking for the incremental enabled-tick index.
+    dirty_flag: Vec<bool>,
+    dirty: Vec<NodeId>,
+    /// Neighbor lists at crash time, for [`Network::rejoin_node`].
+    crash_edges: BTreeMap<NodeId, Vec<NodeId>>,
+    /// Whether any topology churn has occurred (relaxes the locality panic).
+    dynamic: bool,
     /// Metrics accumulated across the run.
     pub metrics: Metrics,
 }
@@ -45,14 +84,21 @@ impl<A: Automaton> Network<A> {
         Network {
             nodes,
             topo,
+            alive: vec![true; n],
             chan_index,
             channels,
+            free_channels: Vec::new(),
+            occupied: BTreeSet::new(),
             in_flight: 0,
+            dirty_flag: vec![true; n],
+            dirty: (0..n as NodeId).collect(),
+            crash_edges: BTreeMap::new(),
+            dynamic: false,
             metrics: Metrics::new(),
         }
     }
 
-    /// Number of nodes.
+    /// Number of nodes (including crashed ones; ids are stable).
     pub fn n(&self) -> usize {
         self.nodes.len()
     }
@@ -62,19 +108,36 @@ impl<A: Automaton> Network<A> {
         &self.nodes[v as usize]
     }
 
-    /// Mutable access — used only by fault injection.
+    /// Mutable access — used by fault injection. Marks the node dirty so
+    /// the engine re-evaluates its enabled predicate.
     pub fn node_mut(&mut self, v: NodeId) -> &mut A {
+        self.mark_dirty(v);
         &mut self.nodes[v as usize]
     }
 
-    /// All automata, index == node id.
+    /// All automata, index == node id (crashed nodes keep their last state).
     pub fn nodes(&self) -> &[A] {
         &self.nodes
     }
 
-    /// Neighbors of `v` in the topology.
+    /// Neighbors of `v` in the current topology (empty while crashed).
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         &self.topo[v as usize]
+    }
+
+    /// Whether node `v` is currently alive (not crashed).
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v as usize]
+    }
+
+    /// Ids of the currently-alive nodes, ascending.
+    pub fn alive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as NodeId).filter(move |&v| self.alive[v as usize])
+    }
+
+    /// Number of currently-alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
     }
 
     /// Messages currently queued on the `from → to` channel.
@@ -90,8 +153,22 @@ impl<A: Automaton> Network<A> {
         self.in_flight
     }
 
-    /// Directed edges with a non-empty channel, in deterministic order.
+    /// Directed edges with a non-empty channel, in deterministic order —
+    /// read straight from the occupancy index in `O(#non-empty)`.
     pub fn nonempty_channels(&self) -> Vec<(NodeId, NodeId)> {
+        self.occupied_channels().collect()
+    }
+
+    /// Allocation-free view of the occupancy index (engine hot path).
+    pub(crate) fn occupied_channels(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.occupied.iter().copied()
+    }
+
+    /// The same answer as [`Network::nonempty_channels`], computed the
+    /// pre-event-engine way: a full scan over every channel. Kept for the
+    /// old-vs-new engine benchmarks and as a cross-check of the incremental
+    /// index (the two must always agree).
+    pub fn scan_nonempty_channels(&self) -> Vec<(NodeId, NodeId)> {
         self.chan_index
             .iter()
             .filter(|&(_, &i)| !self.channels[i].is_empty())
@@ -99,10 +176,32 @@ impl<A: Automaton> Network<A> {
             .collect()
     }
 
-    /// Run one spontaneous atomic step at `v` and route its sends.
+    /// Nodes touched since the last call (state changed, crashed, rejoined,
+    /// or re-wired), each at most once, ascending order not guaranteed.
+    /// Engine-internal: the runner drains this to maintain its tick index.
+    pub fn take_dirty(&mut self) -> Vec<NodeId> {
+        for &v in &self.dirty {
+            self.dirty_flag[v as usize] = false;
+        }
+        std::mem::take(&mut self.dirty)
+    }
+
+    fn mark_dirty(&mut self, v: NodeId) {
+        if !self.dirty_flag[v as usize] {
+            self.dirty_flag[v as usize] = true;
+            self.dirty.push(v);
+        }
+    }
+
+    /// Run one spontaneous atomic step at `v` and route its sends. No-op on
+    /// a crashed node.
     pub fn tick_node(&mut self, v: NodeId) {
+        if !self.alive[v as usize] {
+            return;
+        }
         let mut out = Outbox::new();
         self.nodes[v as usize].tick(&mut out);
+        self.mark_dirty(v);
         self.route(v, &mut out);
     }
 
@@ -115,10 +214,14 @@ impl<A: Automaton> Network<A> {
         let Some(msg) = self.channels[ci].pop_front() else {
             return false;
         };
+        if self.channels[ci].is_empty() {
+            self.occupied.remove(&(from, to));
+        }
         self.in_flight -= 1;
         self.metrics.on_deliver(msg.kind());
         let mut out = Outbox::new();
         self.nodes[to as usize].receive(from, msg, &mut out);
+        self.mark_dirty(to);
         self.route(to, &mut out);
         true
     }
@@ -128,16 +231,199 @@ impl<A: Automaton> Network<A> {
     fn route(&mut self, from: NodeId, out: &mut Outbox<A::Msg>) {
         let n = self.nodes.len();
         for (to, msg) in out.drain() {
-            let ci = *self
-                .chan_index
-                .get(&(from, to))
-                .unwrap_or_else(|| panic!("node {from} sent to non-neighbor {to}"));
+            let Some(&ci) = self.chan_index.get(&(from, to)) else {
+                if self.dynamic {
+                    // A stale mirror naming a departed neighbor: the send is
+                    // lost, exactly like a message on a just-removed link.
+                    self.metrics.dropped_sends += 1;
+                    continue;
+                }
+                panic!("node {from} sent to non-neighbor {to}");
+            };
             self.metrics.on_send(msg.kind(), msg.size_bits(n));
+            if self.channels[ci].is_empty() {
+                self.occupied.insert((from, to));
+            }
             self.channels[ci].push_back(msg);
             self.in_flight += 1;
         }
         self.metrics.on_in_flight(self.in_flight);
     }
+
+    // ------------------------------------------------------------------
+    // Dynamic topology
+    // ------------------------------------------------------------------
+
+    fn has_link(&self, u: NodeId, v: NodeId) -> bool {
+        self.topo[u as usize].binary_search(&v).is_ok()
+    }
+
+    fn attach(&mut self, u: NodeId, v: NodeId) {
+        let list = &mut self.topo[u as usize];
+        if let Err(pos) = list.binary_search(&v) {
+            list.insert(pos, v);
+        }
+    }
+
+    fn detach(&mut self, u: NodeId, v: NodeId) {
+        let list = &mut self.topo[u as usize];
+        if let Ok(pos) = list.binary_search(&v) {
+            list.remove(pos);
+        }
+    }
+
+    fn add_channel(&mut self, u: NodeId, v: NodeId) {
+        let slot = match self.free_channels.pop() {
+            Some(i) => i,
+            None => {
+                self.channels.push(VecDeque::new());
+                self.channels.len() - 1
+            }
+        };
+        debug_assert!(self.channels[slot].is_empty());
+        self.chan_index.insert((u, v), slot);
+    }
+
+    fn remove_channel(&mut self, u: NodeId, v: NodeId) {
+        if let Some(ci) = self.chan_index.remove(&(u, v)) {
+            self.in_flight -= self.channels[ci].len();
+            self.channels[ci].clear();
+            self.occupied.remove(&(u, v));
+            self.free_channels.push(ci);
+        }
+    }
+
+    /// Fire the topology-change hook on an alive node and mark it dirty.
+    fn notify_topology(&mut self, v: NodeId) {
+        if self.alive[v as usize] {
+            let nbrs = std::mem::take(&mut self.topo[v as usize]);
+            self.nodes[v as usize].on_topology_change(&nbrs);
+            self.topo[v as usize] = nbrs;
+            self.mark_dirty(v);
+        }
+    }
+
+    fn in_range(&self, v: NodeId) -> bool {
+        (v as usize) < self.nodes.len()
+    }
+
+    /// Remove the undirected edge `{u, v}` from the live topology. Messages
+    /// in flight on either direction are lost. Returns `false` if the edge
+    /// does not currently exist (including out-of-range endpoints).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || !self.in_range(u) || !self.in_range(v) || !self.has_link(u, v) {
+            return false;
+        }
+        self.dynamic = true;
+        self.detach(u, v);
+        self.detach(v, u);
+        self.remove_channel(u, v);
+        self.remove_channel(v, u);
+        self.notify_topology(u);
+        self.notify_topology(v);
+        true
+    }
+
+    /// Insert the undirected edge `{u, v}` (fresh empty channels both
+    /// ways). Returns `false` if the edge already exists, `u == v`, either
+    /// endpoint is out of range, or either endpoint is crashed.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let n = self.nodes.len() as NodeId;
+        if u == v || u >= n || v >= n || self.has_link(u, v) {
+            return false;
+        }
+        if !self.alive[u as usize] || !self.alive[v as usize] {
+            return false;
+        }
+        self.dynamic = true;
+        self.attach(u, v);
+        self.attach(v, u);
+        self.add_channel(u, v);
+        self.add_channel(v, u);
+        self.notify_topology(u);
+        self.notify_topology(v);
+        true
+    }
+
+    /// Crash node `v`: all incident edges (and their channels) disappear,
+    /// the node stops taking steps, and its automaton state is frozen
+    /// as-is. Surviving neighbors get their topology-change hook. Returns
+    /// `false` if already crashed or out of range.
+    pub fn crash_node(&mut self, v: NodeId) -> bool {
+        if !self.in_range(v) || !self.alive[v as usize] {
+            return false;
+        }
+        self.dynamic = true;
+        let nbrs = std::mem::take(&mut self.topo[v as usize]);
+        for &u in &nbrs {
+            self.detach(u, v);
+            self.remove_channel(u, v);
+            self.remove_channel(v, u);
+        }
+        self.crash_edges.insert(v, nbrs.clone());
+        self.alive[v as usize] = false;
+        self.mark_dirty(v);
+        for &u in &nbrs {
+            self.notify_topology(u);
+        }
+        true
+    }
+
+    /// Rejoin a crashed node: edges to its crash-time neighbors that are
+    /// currently alive are restored with empty channels, and the node
+    /// resumes stepping **with whatever stale state it crashed with** — to
+    /// the protocol this is one more transient fault to stabilize out of.
+    /// An edge whose other endpoint is *still* crashed is deferred: it is
+    /// re-recorded against that endpoint and comes back when the later of
+    /// the two rejoins, so overlapping crashes lose no edges regardless of
+    /// rejoin order. Returns `false` if the node is not crashed (or out of
+    /// range).
+    pub fn rejoin_node(&mut self, v: NodeId) -> bool {
+        if !self.in_range(v) || self.alive[v as usize] {
+            return false;
+        }
+        self.dynamic = true;
+        self.alive[v as usize] = true;
+        let olds = self.crash_edges.remove(&v).unwrap_or_default();
+        for u in olds {
+            if self.alive[u as usize] {
+                if !self.has_link(v, u) {
+                    self.attach(v, u);
+                    self.attach(u, v);
+                    self.add_channel(v, u);
+                    self.add_channel(u, v);
+                    self.notify_topology(u);
+                }
+            } else {
+                // `u` crashed after `v` and so never recorded this edge
+                // (it was already detached); hand the record over.
+                let rec = self.crash_edges.entry(u).or_default();
+                if !rec.contains(&v) {
+                    rec.push(v);
+                }
+            }
+        }
+        self.notify_topology(v);
+        true
+    }
+
+    /// Snapshot of the current live topology as an immutable [`Graph`].
+    /// Crashed nodes appear as isolated vertices (ids are stable).
+    pub fn current_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.nodes.len());
+        for (v, nbrs) in self.topo.iter().enumerate() {
+            for &u in nbrs {
+                if (v as NodeId) < u {
+                    b.add_edge(v as NodeId, u).expect("topology ids in range");
+                }
+            }
+        }
+        b.build()
+    }
+
+    // ------------------------------------------------------------------
+    // Channel-level fault injection
+    // ------------------------------------------------------------------
 
     /// Fault injection: erase all channel contents (an arbitrary initial
     /// configuration includes arbitrary — here, empty — channel states).
@@ -145,6 +431,7 @@ impl<A: Automaton> Network<A> {
         for c in &mut self.channels {
             c.clear();
         }
+        self.occupied.clear();
         self.in_flight = 0;
     }
 
@@ -152,10 +439,16 @@ impl<A: Automaton> Network<A> {
     /// probability `p` (transient corruption of channel contents; FIFO
     /// order of survivors is preserved).
     pub fn drop_in_flight<R: rand::Rng>(&mut self, p: f64, rng: &mut R) {
-        for c in &mut self.channels {
+        let keys: Vec<(NodeId, NodeId)> = self.chan_index.keys().copied().collect();
+        for e in keys {
+            let ci = self.chan_index[&e];
+            let c = &mut self.channels[ci];
             let before = c.len();
             c.retain(|_| rng.random::<f64>() >= p);
             self.in_flight -= before - c.len();
+            if c.is_empty() {
+                self.occupied.remove(&e);
+            }
         }
     }
 }
@@ -195,6 +488,9 @@ mod tests {
         }
         fn receive(&mut self, _from: NodeId, msg: Num, _out: &mut Outbox<Num>) {
             self.best_seen = self.best_seen.max(msg.0);
+        }
+        fn on_topology_change(&mut self, neighbors: &[NodeId]) {
+            self.neighbors = neighbors.to_vec();
         }
     }
 
@@ -266,6 +562,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         net.drop_in_flight(1.0, &mut rng);
         assert_eq!(net.in_flight(), 0);
+        assert!(net.nonempty_channels().is_empty());
     }
 
     #[test]
@@ -278,10 +575,156 @@ mod tests {
     }
 
     #[test]
+    fn occupancy_index_matches_full_scan() {
+        let mut net = echo_net();
+        net.tick_node(0);
+        net.tick_node(1);
+        assert_eq!(net.nonempty_channels(), net.scan_nonempty_channels());
+        net.deliver_one(0, 1);
+        net.deliver_one(1, 0);
+        net.deliver_one(1, 2);
+        assert_eq!(net.nonempty_channels(), net.scan_nonempty_channels());
+        assert!(net.nonempty_channels().is_empty());
+    }
+
+    #[test]
     fn peak_in_flight_tracked() {
         let mut net = echo_net();
         net.tick_node(1);
         net.tick_node(1);
         assert_eq!(net.metrics.peak_in_flight, 4);
+    }
+
+    #[test]
+    fn remove_edge_loses_in_flight_messages() {
+        let mut net = echo_net();
+        net.tick_node(1); // messages on 1→0 and 1→2
+        assert!(net.remove_edge(1, 2));
+        assert_eq!(net.in_flight(), 1); // the 1→2 message is gone
+        assert_eq!(net.channel_len(1, 2), 0);
+        assert_eq!(net.neighbors(1), &[0]);
+        assert_eq!(net.neighbors(2), &[] as &[NodeId]);
+        assert!(!net.remove_edge(1, 2), "already removed");
+        assert_eq!(net.nonempty_channels(), net.scan_nonempty_channels());
+    }
+
+    #[test]
+    fn insert_edge_creates_working_channels() {
+        let mut net = echo_net();
+        assert!(net.insert_edge(0, 2));
+        assert!(!net.insert_edge(0, 2), "duplicate");
+        assert_eq!(net.neighbors(0), &[1, 2]);
+        net.tick_node(0);
+        assert_eq!(net.channel_len(0, 2), 1);
+        assert!(net.deliver_one(0, 2));
+        assert_eq!(net.node(2).best_seen, 1);
+    }
+
+    #[test]
+    fn stale_send_after_churn_is_dropped_not_fatal() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        // Automaton that keeps its captured neighbor list even when the
+        // topology changes (no on_topology_change override).
+        struct Stubborn;
+        impl Automaton for Stubborn {
+            type Msg = Num;
+            fn tick(&mut self, out: &mut Outbox<Num>) {
+                out.send(1, Num(0));
+            }
+            fn receive(&mut self, _: NodeId, _: Num, _: &mut Outbox<Num>) {}
+        }
+        let mut net = Network::from_graph(&g, |_, _| Stubborn);
+        assert!(net.remove_edge(0, 1));
+        net.tick_node(0); // sends to departed neighbor 1
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.metrics.dropped_sends, 1);
+    }
+
+    #[test]
+    fn crash_isolates_and_rejoin_restores() {
+        let mut net = echo_net();
+        net.tick_node(0); // a message 0→1 in flight
+        assert!(net.crash_node(1));
+        assert!(!net.is_alive(1));
+        assert_eq!(net.alive_count(), 2);
+        assert_eq!(net.in_flight(), 0, "channels to/from crashed node gone");
+        assert_eq!(net.neighbors(0), &[] as &[NodeId]);
+        assert_eq!(net.neighbors(1), &[] as &[NodeId]);
+        net.tick_node(1); // no-op while crashed
+        assert_eq!(net.in_flight(), 0);
+
+        assert!(net.rejoin_node(1));
+        assert!(net.is_alive(1));
+        assert_eq!(net.neighbors(1), &[0, 2]);
+        assert_eq!(net.neighbors(0), &[1]);
+        net.tick_node(1);
+        assert_eq!(net.in_flight(), 2);
+        assert!(!net.rejoin_node(1), "already alive");
+    }
+
+    #[test]
+    fn rejoin_defers_edges_to_still_crashed_partners() {
+        let mut net = echo_net();
+        net.crash_node(0);
+        net.crash_node(1);
+        net.rejoin_node(1); // 0 still down: only edge {1,2} restored for now
+        assert_eq!(net.neighbors(1), &[2]);
+        net.rejoin_node(0);
+        assert_eq!(net.neighbors(0), &[1]); // crash-time neighbor of 0
+        assert_eq!(net.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn overlapping_crashes_restore_all_edges_in_either_rejoin_order() {
+        // The later-crashing node never recorded the shared edge (its
+        // partner was already detached), so the record must be handed over
+        // when the earlier-crashed node rejoins first.
+        let mut net = echo_net();
+        net.crash_node(0);
+        net.crash_node(1);
+        net.rejoin_node(0); // 1 still down: {0,1} deferred onto 1's record
+        assert_eq!(net.neighbors(0), &[] as &[NodeId]);
+        net.rejoin_node(1);
+        assert_eq!(net.neighbors(0), &[1]);
+        assert_eq!(net.neighbors(1), &[0, 2]);
+        let g = net.current_graph();
+        assert_eq!(g.m(), 2, "original topology fully restored");
+    }
+
+    #[test]
+    fn out_of_range_churn_is_a_noop_not_a_panic() {
+        let mut net = echo_net(); // 3 nodes
+        assert!(!net.remove_edge(99, 0));
+        assert!(!net.insert_edge(0, 99));
+        assert!(!net.crash_node(99));
+        assert!(!net.rejoin_node(99));
+    }
+
+    #[test]
+    fn current_graph_tracks_churn() {
+        let mut net = echo_net();
+        let g0 = net.current_graph();
+        assert_eq!((g0.n(), g0.m()), (3, 2));
+        net.remove_edge(0, 1);
+        net.insert_edge(0, 2);
+        let g1 = net.current_graph();
+        assert_eq!(g1.m(), 2);
+        assert!(g1.has_edge(0, 2));
+        assert!(!g1.has_edge(0, 1));
+    }
+
+    #[test]
+    fn dirty_list_reports_touched_nodes_once() {
+        let mut net = echo_net();
+        let initial = net.take_dirty();
+        assert_eq!(initial.len(), 3, "everyone dirty at construction");
+        assert!(net.take_dirty().is_empty());
+        net.tick_node(1);
+        net.tick_node(1);
+        let d = net.take_dirty();
+        assert_eq!(d, vec![1]);
+        net.deliver_one(1, 0);
+        let d = net.take_dirty();
+        assert_eq!(d, vec![0]);
     }
 }

@@ -13,6 +13,11 @@ use parking_lot::Mutex;
 /// order in the output. `job` must be `Sync` (it is shared by reference) and
 /// inputs are handed out through a work-stealing index.
 ///
+/// Results are written through **per-slot cells** — each worker locks only
+/// the (uncontended) mutex of the slot it just produced, never a shared
+/// collection — so workers publishing results do not serialize on one
+/// global lock while others are mid-`job`.
+///
 /// Falls back to sequential execution when `workers <= 1`.
 pub fn run_many<I, O, F>(inputs: Vec<I>, workers: usize, job: F) -> Vec<O>
 where
@@ -24,11 +29,11 @@ where
         return inputs.iter().map(&job).collect();
     }
     let n = inputs.len();
-    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let slots = Mutex::new(slots);
+    let mut slots: Vec<Mutex<Option<O>>> = Vec::with_capacity(n);
+    slots.resize_with(n, || Mutex::new(None));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let inputs_ref = &inputs;
+    let slots_ref = &slots;
     let job_ref = &job;
     thread::scope(|s| {
         for _ in 0..workers.min(n) {
@@ -38,15 +43,14 @@ where
                     break;
                 }
                 let out = job_ref(&inputs_ref[i]);
-                slots.lock()[i] = Some(out);
+                *slots_ref[i].lock() = Some(out);
             });
         }
     })
     .expect("sweep worker panicked");
     slots
-        .into_inner()
         .into_iter()
-        .map(|o| o.expect("every slot filled"))
+        .map(|m| m.into_inner().expect("every slot filled"))
         .collect()
 }
 
@@ -90,6 +94,23 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn order_preserved_when_later_inputs_finish_first() {
+        // Early inputs sleep, late inputs return immediately: with more
+        // than one worker the completion order is (nearly) the reverse of
+        // the input order, so any indexing mistake in the per-slot writes
+        // shows up as a permuted output.
+        let inputs: Vec<u64> = (0..24).collect();
+        let out = run_many(inputs.clone(), 8, |&x| {
+            if x < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(8 - x));
+            }
+            x * 10
+        });
+        let expect: Vec<u64> = inputs.iter().map(|x| x * 10).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

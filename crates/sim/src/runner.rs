@@ -1,9 +1,9 @@
-//! The run loop: rounds, convergence detection and outcomes.
+//! The run loop: the event-driven engine, rounds, convergence detection.
 
 use crate::automaton::Automaton;
+use crate::events::EventQueue;
 use crate::network::Network;
-use crate::scheduler::{Action, Picker, Scheduler};
-use crate::NodeId;
+use crate::scheduler::{Action, KeySource, Scheduler};
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,18 +30,77 @@ impl RunOutcome {
     }
 }
 
+/// Canonical quiescence-confirmation window for an `n`-node run, shared by
+/// the facade, the experiment harness and the dynamic-topology tests so
+/// they all judge stability identically: `max(6n, 64)` rounds — long
+/// enough that periodic protocol activity with an `O(n)` period (e.g. the
+/// MDST search wave, period `2n`, plus an improvement of `≤ 2n` hops)
+/// cannot hide inside it.
+pub fn quiet_window(n: usize) -> u64 {
+    (6 * n as u64).max(64)
+}
+
 /// Drives a [`Network`] under a [`Scheduler`], counting rounds.
 ///
 /// **Round semantics** (the unit of the paper's `O(m n² log n)` bound): at
-/// the start of a round the runner snapshots the *obligations* — one tick
-/// per node plus one delivery per message then in flight. The scheduler
-/// orders them; the round ends when all have executed. Messages sent during
-/// the round are delivered in later rounds (they are the next round's
-/// obligations), so information travels at most one hop per round, matching
-/// the standard asynchronous round definition.
+/// the start of a round the runner determines the *obligations* — one tick
+/// per enabled alive node plus one delivery per message then in flight. The
+/// scheduler keys them; the round ends when all have executed. Messages
+/// sent during the round are delivered in later rounds (they are the next
+/// round's obligations), so information travels at most one hop per round,
+/// matching the standard asynchronous round definition.
+///
+/// **Event-driven engine**: obligations are *derived*, not *discovered*.
+/// The tick set is an incremental index maintained from the network's
+/// dirty-node list (only nodes whose state changed get their
+/// [`Automaton::enabled`] predicate re-evaluated), and delivery obligations
+/// are read off the channel occupancy index — so a round costs
+/// `O(k log k)` in its own obligation count `k`, never `O(n + #channels)`
+/// rescans. [`Runner::step_round_rescan`] keeps the old full-scan
+/// discovery alive for benchmarks; both paths execute the identical
+/// schedule.
+///
+/// # Example
+///
+/// A two-node token automaton under the synchronous daemon (a protocol
+/// crate would plug its own [`Automaton`] in the same way):
+///
+/// ```
+/// use ssmdst_sim::{Automaton, Message, Network, Outbox, Runner, Scheduler};
+///
+/// #[derive(Debug, Clone)]
+/// struct Ping;
+/// impl Message for Ping {
+///     fn kind(&self) -> &'static str { "Ping" }
+///     fn size_bits(&self, _n: usize) -> usize { 1 }
+/// }
+///
+/// /// Gossips once per round; counts what it hears.
+/// struct Chatter { neighbors: Vec<u32>, heard: u32 }
+/// impl Automaton for Chatter {
+///     type Msg = Ping;
+///     fn tick(&mut self, out: &mut Outbox<Ping>) {
+///         for &w in &self.neighbors { out.send(w, Ping); }
+///     }
+///     fn receive(&mut self, _from: u32, _msg: Ping, _out: &mut Outbox<Ping>) {
+///         self.heard += 1;
+///     }
+/// }
+///
+/// let g = ssmdst_graph::graph::graph_from_edges(2, &[(0, 1)]);
+/// let net = Network::from_graph(&g, |_, nbrs| Chatter {
+///     neighbors: nbrs.to_vec(),
+///     heard: 0,
+/// });
+/// let mut runner = Runner::new(net, Scheduler::Synchronous);
+/// let out = runner.run_until(10, |net, _| net.node(0).heard >= 3);
+/// assert!(out.converged());
+/// assert_eq!(out.rounds, 4); // messages sent in round r arrive in round r+1
+/// ```
 pub struct Runner<A: Automaton> {
     net: Network<A>,
-    picker: Picker,
+    keys: KeySource,
+    queue: EventQueue,
     round: u64,
 }
 
@@ -50,7 +109,8 @@ impl<A: Automaton> Runner<A> {
     pub fn new(net: Network<A>, sched: Scheduler) -> Self {
         Runner {
             net,
-            picker: Picker::new(sched),
+            keys: KeySource::new(sched),
+            queue: EventQueue::new(),
             round: 0,
         }
     }
@@ -60,7 +120,11 @@ impl<A: Automaton> Runner<A> {
         &self.net
     }
 
-    /// Mutable network access (fault injection between rounds).
+    /// Mutable network access (fault injection and topology churn between
+    /// rounds). All engine-relevant bookkeeping — channel occupancy, node
+    /// liveness, dirty flags — lives inside [`Network`] and is maintained
+    /// by its methods, so arbitrary inter-round mutation through this
+    /// handle keeps the event indices consistent.
     pub fn network_mut(&mut self) -> &mut Network<A> {
         &mut self.net
     }
@@ -70,29 +134,49 @@ impl<A: Automaton> Runner<A> {
         self.round
     }
 
-    /// Execute one full round.
+    /// Execute one full round on the event-driven engine.
     pub fn step_round(&mut self) {
-        let mut obligations: Vec<Action> = (0..self.net.n() as NodeId).map(Action::Tick).collect();
-        // One delivery obligation per message currently in flight; the
-        // runner re-pops the same channel that many times, preserving FIFO.
-        for (from, to) in self.net.nonempty_channels() {
-            for _ in 0..self.net.channel_len(from, to) {
-                obligations.push(Action::Deliver(from, to));
-            }
-        }
-        for act in self.picker.order(self.round, obligations) {
+        self.queue.refresh(&mut self.net);
+        let events = self.queue.schedule(self.round, &mut self.keys, &self.net);
+        Self::execute(&mut self.net, events);
+        self.round += 1;
+        self.net.metrics.rounds = self.round;
+    }
+
+    /// Execute one full round with the pre-engine obligation discovery: a
+    /// full rescan of all nodes and channels. Byte-for-byte the same
+    /// execution as [`Runner::step_round`] (same obligations, same keys,
+    /// same order) — only the discovery cost differs. Kept for the
+    /// old-vs-new engine benchmarks.
+    pub fn step_round_rescan(&mut self) {
+        self.queue.refresh(&mut self.net); // keep the index warm for later steps
+        let events = self
+            .queue
+            .schedule_rescan(self.round, &mut self.keys, &self.net);
+        Self::execute(&mut self.net, events);
+        self.round += 1;
+        self.net.metrics.rounds = self.round;
+    }
+
+    fn execute(net: &mut Network<A>, events: &[(u128, u32, Action)]) {
+        for &(_, _, act) in events {
             match act {
-                Action::Tick(v) => self.net.tick_node(v),
+                // Re-check the guard at execution time: an earlier event of
+                // this round (a delivery) may have disabled the node, and a
+                // daemon must never run a step whose guard is false.
+                Action::Tick(v) => {
+                    if net.is_alive(v) && net.node(v).enabled() {
+                        net.tick_node(v);
+                    }
+                }
                 Action::Deliver(from, to) => {
                     // The channel is guaranteed to still hold this round's
                     // message: deliveries only pop and FIFO keeps order.
-                    let ok = self.net.deliver_one(from, to);
+                    let ok = net.deliver_one(from, to);
                     debug_assert!(ok, "obligation for empty channel {from}->{to}");
                 }
             }
         }
-        self.round += 1;
-        self.net.metrics.rounds = self.round;
     }
 
     /// Run until `observer` returns `true` (checked after every round) or
@@ -147,6 +231,7 @@ impl<A: Automaton> Runner<A> {
 mod tests {
     use super::*;
     use crate::automaton::{Message, Outbox};
+    use crate::NodeId;
     use ssmdst_graph::generators::structured::path;
 
     /// Min-propagation automaton: floods the smallest value seen; converges
@@ -178,6 +263,9 @@ mod tests {
         }
         fn receive(&mut self, _from: NodeId, msg: Val, _out: &mut Outbox<Val>) {
             self.value = self.value.min(msg.0);
+        }
+        fn on_topology_change(&mut self, neighbors: &[NodeId]) {
+            self.neighbors = neighbors.to_vec();
         }
     }
 
@@ -253,5 +341,134 @@ mod tests {
             (vals, r.network().metrics.total_sent)
         };
         assert_eq!(run(7), run(7));
+    }
+
+    /// The indexed engine and the legacy rescan path must produce the exact
+    /// same execution for every daemon — same per-round values, same
+    /// message counts.
+    #[test]
+    fn event_engine_matches_rescan_engine() {
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::RandomAsync { seed: 11 },
+            Scheduler::Adversarial { seed: 11 },
+        ] {
+            let trace = |rescan: bool| {
+                let mut r = Runner::new(min_net(9), sched);
+                let mut samples = Vec::new();
+                for _ in 0..25 {
+                    if rescan {
+                        r.step_round_rescan();
+                    } else {
+                        r.step_round();
+                    }
+                    samples.push((
+                        r.network()
+                            .nodes()
+                            .iter()
+                            .map(|a| a.value)
+                            .collect::<Vec<_>>(),
+                        r.network().in_flight(),
+                        r.network().metrics.total_sent,
+                    ));
+                }
+                samples
+            };
+            assert_eq!(
+                trace(false),
+                trace(true),
+                "engines diverged under {sched:?}"
+            );
+        }
+    }
+
+    /// A tick whose `enabled()` guard is falsified *mid-round* (by a
+    /// delivery ordered before it) must not fire: daemons never execute a
+    /// step with a false guard. The automaton asserts the guard inside
+    /// `tick`, so any violation panics; random/adversarial interleavings
+    /// across many seeds exercise both deliver-before-tick orders.
+    #[test]
+    fn tick_guard_rechecked_at_execution_time() {
+        #[derive(Debug, Clone)]
+        struct Block;
+        impl Message for Block {
+            fn kind(&self) -> &'static str {
+                "Block"
+            }
+            fn size_bits(&self, _n: usize) -> usize {
+                1
+            }
+        }
+        /// Node 0 blocks node 1 with its first send; node 1's spontaneous
+        /// step is only enabled while unblocked.
+        struct Blocker;
+        struct Guarded {
+            blocked: bool,
+        }
+        enum Either {
+            B(Blocker),
+            G(Guarded),
+        }
+        impl Automaton for Either {
+            type Msg = Block;
+            fn tick(&mut self, out: &mut Outbox<Block>) {
+                match self {
+                    Either::B(_) => out.send(1, Block),
+                    Either::G(g) => assert!(!g.blocked, "tick fired with false guard"),
+                }
+            }
+            fn receive(&mut self, _: NodeId, _: Block, _: &mut Outbox<Block>) {
+                if let Either::G(g) = self {
+                    g.blocked = true;
+                }
+            }
+            fn enabled(&self) -> bool {
+                match self {
+                    Either::B(_) => true,
+                    Either::G(g) => !g.blocked,
+                }
+            }
+        }
+        for seed in 0..25 {
+            for sched in [
+                Scheduler::RandomAsync { seed },
+                Scheduler::Adversarial { seed },
+            ] {
+                let g = ssmdst_graph::graph::graph_from_edges(2, &[(0, 1)]);
+                let net = Network::from_graph(&g, |v, _| {
+                    if v == 0 {
+                        Either::B(Blocker)
+                    } else {
+                        Either::G(Guarded { blocked: false })
+                    }
+                });
+                let mut r = Runner::new(net, sched);
+                for _ in 0..5 {
+                    r.step_round(); // panics without the execution-time re-check
+                }
+            }
+        }
+    }
+
+    /// Obligations survive topology churn between rounds: removing an edge
+    /// drops its in-flight messages, crashing a node removes its tick.
+    #[test]
+    fn churn_between_rounds_keeps_engine_consistent() {
+        let mut r = Runner::new(min_net(6), Scheduler::Synchronous);
+        r.step_round();
+        r.network_mut().remove_edge(2, 3);
+        r.step_round();
+        r.network_mut().crash_node(5);
+        for _ in 0..10 {
+            r.step_round();
+        }
+        // Left segment 0..=2 still floods its own minimum (node 2 holds 98).
+        assert_eq!(r.network().node(2).value, 98);
+        r.network_mut().rejoin_node(5);
+        r.network_mut().insert_edge(2, 3);
+        let out = r.run_until(50, |net, _| {
+            net.alive_nodes().all(|v| net.node(v).value == 95)
+        });
+        assert!(out.converged(), "no re-convergence after churn healed");
     }
 }

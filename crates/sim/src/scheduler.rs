@@ -3,6 +3,21 @@
 //! Self-stabilization proofs quantify over *all* fair executions; the
 //! simulator approximates that space with three daemons. All are
 //! deterministic given their seed, so any failing execution can be replayed.
+//!
+//! Since the event-driven engine landed, a daemon is expressed as a **key
+//! source**: each pending event gets a priority key and the engine executes
+//! events in ascending `(key, enumeration index)` order. This keeps the
+//! per-event cost logarithmic while preserving the exact semantics of the
+//! old sort-the-whole-round pickers:
+//!
+//! * [`Scheduler::Synchronous`] keys ticks before deliveries, each in id /
+//!   channel order — the classic lockstep round;
+//! * [`Scheduler::RandomAsync`] draws one `u64` per event from a seeded
+//!   [`StdRng`]; ordering by independent uniform keys is a uniformly random
+//!   permutation of the round's obligations;
+//! * [`Scheduler::Adversarial`] keys by a seeded hash that is sticky across
+//!   rounds, consistently favoring some channels and starving others as
+//!   long as fairness permits.
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -16,9 +31,8 @@ pub enum Scheduler {
     /// channel order. The fastest executions; used for large sweeps.
     Synchronous,
     /// Uniformly random fair interleaving: within each round the set of
-    /// obligations (every node ticks once, every message present at round
-    /// start is delivered) is discharged in a random order, interleaved with
-    /// deliveries of newly sent messages.
+    /// obligations (every enabled node ticks once, every message present at
+    /// round start is delivered) is discharged in a random order.
     RandomAsync { seed: u64 },
     /// Deterministic unfair-within-round daemon: obligations are discharged
     /// in an order keyed by a seeded hash, consistently favoring some
@@ -36,47 +50,40 @@ pub enum Action {
     Deliver(u32, u32),
 }
 
-/// Round-scoped action picker: the runner constructs one per run and asks it
-/// to order each round's obligations.
-pub(crate) struct Picker {
+/// Per-run priority-key source: the runner constructs one per run and asks
+/// it for one key per pending event. Events run in ascending key order,
+/// ties broken by enumeration order (ticks in id order first, then channel
+/// deliveries in channel order), which makes every daemon a total,
+/// reproducible order.
+pub(crate) struct KeySource {
     sched: Scheduler,
     rng: Option<StdRng>,
 }
 
-impl Picker {
+impl KeySource {
     pub(crate) fn new(sched: Scheduler) -> Self {
         let rng = match sched {
             Scheduler::RandomAsync { seed } => Some(StdRng::seed_from_u64(seed)),
             _ => None,
         };
-        Picker { sched, rng }
+        KeySource { sched, rng }
     }
 
-    /// Order this round's obligations. The runner executes them left to
-    /// right (re-checking enabledness, since earlier actions can consume or
-    /// create messages).
-    pub(crate) fn order(&mut self, round: u64, mut obligations: Vec<Action>) -> Vec<Action> {
+    /// Priority key for one pending event of round `round`. For
+    /// `RandomAsync` this consumes one value from the seeded stream, so the
+    /// caller must request keys in the canonical enumeration order.
+    pub(crate) fn key(&mut self, round: u64, a: &Action) -> u128 {
         match self.sched {
-            Scheduler::Synchronous => {
-                // Ticks first (id order), then deliveries in channel order —
-                // classic synchronous round.
-                obligations.sort_unstable_by_key(|a| match *a {
-                    Action::Tick(v) => (0u8, v, 0),
-                    Action::Deliver(f, t) => (1u8, f, t),
-                });
-                obligations
-            }
+            Scheduler::Synchronous => match *a {
+                // Ticks strictly before deliveries, each in natural order.
+                Action::Tick(v) => v as u128,
+                Action::Deliver(f, t) => (1u128 << 96) | ((f as u128) << 32) | t as u128,
+            },
             Scheduler::RandomAsync { .. } => {
                 let rng = self.rng.as_mut().expect("random daemon has rng");
-                obligations.shuffle(rng);
-                obligations
+                rng.random::<u64>() as u128
             }
-            Scheduler::Adversarial { seed } => {
-                // Stable, seed-keyed priority: the same channels are always
-                // served last, emulating consistently slow links.
-                obligations.sort_unstable_by_key(|a| hash_action(seed, round, a));
-                obligations
-            }
+            Scheduler::Adversarial { seed } => hash_action(seed, round, a) as u128,
         }
     }
 }
@@ -108,10 +115,22 @@ mod tests {
         ]
     }
 
+    /// Order a round's obligations the way the engine does: ascending
+    /// (key, enumeration index).
+    fn order(ks: &mut KeySource, round: u64, obligations: Vec<Action>) -> Vec<Action> {
+        let mut keyed: Vec<(u128, usize, Action)> = obligations
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (ks.key(round, &a), i, a))
+            .collect();
+        keyed.sort_unstable_by_key(|e| (e.0, e.1));
+        keyed.into_iter().map(|(_, _, a)| a).collect()
+    }
+
     #[test]
     fn synchronous_orders_ticks_first_then_channels() {
-        let mut p = Picker::new(Scheduler::Synchronous);
-        let ordered = p.order(0, obligations());
+        let mut ks = KeySource::new(Scheduler::Synchronous);
+        let ordered = order(&mut ks, 0, obligations());
         assert_eq!(
             ordered,
             vec![
@@ -125,28 +144,49 @@ mod tests {
 
     #[test]
     fn random_async_is_seed_deterministic() {
-        let mut a = Picker::new(Scheduler::RandomAsync { seed: 5 });
-        let mut b = Picker::new(Scheduler::RandomAsync { seed: 5 });
-        assert_eq!(a.order(0, obligations()), b.order(0, obligations()));
+        let mut a = KeySource::new(Scheduler::RandomAsync { seed: 5 });
+        let mut b = KeySource::new(Scheduler::RandomAsync { seed: 5 });
+        assert_eq!(
+            order(&mut a, 0, obligations()),
+            order(&mut b, 0, obligations())
+        );
     }
 
     #[test]
     fn random_async_differs_across_seeds_eventually() {
-        // With 4 obligations a single-seed collision is possible; check over
-        // several rounds.
-        let mut a = Picker::new(Scheduler::RandomAsync { seed: 1 });
-        let mut b = Picker::new(Scheduler::RandomAsync { seed: 2 });
-        let same = (0..10).all(|r| a.order(r, obligations()) == b.order(r, obligations()));
+        // With 4 obligations a single-round collision is possible; check
+        // over several rounds.
+        let mut a = KeySource::new(Scheduler::RandomAsync { seed: 1 });
+        let mut b = KeySource::new(Scheduler::RandomAsync { seed: 2 });
+        let same =
+            (0..10).all(|r| order(&mut a, r, obligations()) == order(&mut b, r, obligations()));
         assert!(!same);
     }
 
     #[test]
     fn adversarial_is_deterministic_and_sticky() {
-        let mut a = Picker::new(Scheduler::Adversarial { seed: 9 });
-        let mut b = Picker::new(Scheduler::Adversarial { seed: 9 });
+        let mut a = KeySource::new(Scheduler::Adversarial { seed: 9 });
+        let mut b = KeySource::new(Scheduler::Adversarial { seed: 9 });
         // Same order for the same round...
-        assert_eq!(a.order(3, obligations()), b.order(3, obligations()));
+        assert_eq!(
+            order(&mut a, 3, obligations()),
+            order(&mut b, 3, obligations())
+        );
         // ...and sticky across adjacent rounds (division by 16 in the hash).
-        assert_eq!(a.order(4, obligations()), b.order(5, obligations()));
+        assert_eq!(
+            order(&mut a, 4, obligations()),
+            order(&mut b, 5, obligations())
+        );
+    }
+
+    #[test]
+    fn synchronous_keys_are_pure() {
+        // Synchronous keys depend only on the action, never on round or
+        // call order — the lockstep order is frozen forever.
+        let mut ks = KeySource::new(Scheduler::Synchronous);
+        let k1 = ks.key(0, &Action::Deliver(3, 4));
+        let k2 = ks.key(17, &Action::Deliver(3, 4));
+        assert_eq!(k1, k2);
+        assert!(ks.key(0, &Action::Tick(u32::MAX)) < ks.key(0, &Action::Deliver(0, 0)));
     }
 }

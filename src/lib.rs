@@ -6,19 +6,51 @@
 //!
 //! * [`graph`] — graph substrate: representation, generators, exact MDST,
 //!   lower bounds ([`ssmdst_graph`]);
-//! * [`sim`] — asynchronous message-passing simulator with FIFO channels,
-//!   schedulers and fault injection ([`ssmdst_sim`]);
+//! * [`sim`] — event-driven asynchronous message-passing simulator with
+//!   FIFO channels, schedulers, fault injection and dynamic topology
+//!   ([`ssmdst_sim`]);
 //! * [`core`] — the protocol itself ([`ssmdst_core`]);
 //! * [`baselines`] — Fürer–Raghavachari, serialized-improvement and naive
 //!   tree baselines ([`ssmdst_baselines`]).
 //!
+//! ## Paper-to-code map
+//!
+//! Where the paper's vocabulary lives in this workspace:
+//!
+//! | paper concept | implementation |
+//! |---|---|
+//! | optimal degree `Δ*` (called `D*` in places) | [`graph::mdst_exact::exact_mdst`] (exact), [`graph::lower_bound::degree_lower_bound`] (witness bound) |
+//! | spanning-tree rules R1/R2, min-ID root election | [`core::spanning_tree`] |
+//! | `dmax` propagation (PIF over the tree) | [`core::maxdeg`] |
+//! | fundamental-**cycle search** (DFS token per non-tree edge) | [`core::cycle_search`] |
+//! | `Action_on_Cycle`, improving/blocking edges, `Deblock` | [`core::reduction`] |
+//! | **fragments** (the serialized predecessor \[3\] this paper improves on) | [`baselines::fragment`] |
+//! | legitimacy predicate (Definition 1) | [`core::oracle::is_legitimate`] |
+//! | transient faults & topology churn | [`sim::faults`] |
+//! | re-convergence under churn (`deg ≤ Δ*+1` per component) | [`core::churn`] |
+//!
 //! ## Quickstart
+//!
+//! The one-call entry point is [`run`]:
 //!
 //! ```
 //! use ssmdst::prelude::*;
 //!
 //! // A network whose BFS tree is terrible (hub degree n−1) but whose
 //! // optimal spanning tree is a path (Δ* = 2).
+//! let g = ssmdst::graph::generators::structured::star_with_ring(8).unwrap();
+//!
+//! let (out, runner) = ssmdst::run(&g, Config::for_n(g.n()), Scheduler::Synchronous, 10_000);
+//! assert!(out.converged());
+//! let deg = ssmdst::core::oracle::current_degree(&g, runner.network()).unwrap();
+//! assert!(deg <= 3); // Δ* + 1 (Theorem 2)
+//! ```
+//!
+//! Driving the [`sim::Runner`] by hand gives round-level control:
+//!
+//! ```
+//! use ssmdst::prelude::*;
+//!
 //! let g = ssmdst::graph::generators::structured::star_with_ring(8).unwrap();
 //!
 //! // Run the protocol until the global state is legitimate and low-degree.
@@ -43,4 +75,44 @@ pub mod prelude {
     pub use ssmdst_core::{build_network, oracle, Config, MdstNode};
     pub use ssmdst_graph::{Graph, GraphBuilder, SpanningTree};
     pub use ssmdst_sim::{Network, RunOutcome, Runner, Scheduler};
+}
+
+/// Build the protocol network over `g` and run it to quiescence (or
+/// `max_rounds`), returning the outcome and the runner for inspection —
+/// the shortest path from a graph to a stabilized tree.
+///
+/// Quiescence is judged on the oracle projection (parents, `dmax`,
+/// distances) held stable for the canonical [`sim::quiet_window`], the
+/// same detector the experiment harness uses. For fault-injection or
+/// dynamic-topology follow-ups, keep calling into the returned runner:
+///
+/// ```
+/// use ssmdst::prelude::*;
+/// use ssmdst::sim::faults::{apply_churn, ChurnEvent};
+///
+/// let g = ssmdst::graph::generators::structured::cycle(8).unwrap();
+/// let (out, mut runner) = ssmdst::run(&g, Config::for_n(g.n()), Scheduler::Synchronous, 20_000);
+/// assert!(out.converged());
+///
+/// // Cut one cycle edge: the tree must re-fit the now-forced path.
+/// apply_churn(runner.network_mut(), &ChurnEvent::RemoveEdge(0, 1));
+/// let out = runner.run_to_quiescence(20_000, 64, ssmdst::core::oracle::projection);
+/// assert!(out.converged());
+/// let budget = ssmdst::graph::SolveBudget { max_nodes: 100_000 };
+/// assert!(ssmdst::core::churn::reconverged_within_one(runner.network(), budget));
+/// ```
+pub fn run(
+    g: &graph::Graph,
+    cfg: core::Config,
+    sched: sim::Scheduler,
+    max_rounds: u64,
+) -> (sim::RunOutcome, sim::Runner<core::MdstNode>) {
+    let net = core::build_network(g, cfg);
+    let mut runner = sim::Runner::new(net, sched);
+    let out = runner.run_to_quiescence(
+        max_rounds,
+        sim::quiet_window(g.n()),
+        core::oracle::projection,
+    );
+    (out, runner)
 }

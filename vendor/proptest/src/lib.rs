@@ -5,7 +5,7 @@
 //!   header) generating one `#[test]` per property;
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * range strategies, tuple strategies (arity 2–4),
-//!   [`Strategy::prop_map`], and [`collection::vec`].
+//!   [`strategy::Strategy::prop_map`], and [`collection::vec`].
 //!
 //! Unlike real proptest there is **no shrinking**: a failing case reports
 //! its case index and panics. Every test's RNG is seeded from an FNV-1a
