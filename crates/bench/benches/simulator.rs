@@ -81,55 +81,32 @@ fn bench_engine_compare(c: &mut Criterion) {
 /// (The steady-state MDST rounds above are obligation-dominated — every
 /// node gossips every round — so the two engines tie there by design.)
 fn bench_sparse_activity(c: &mut Criterion) {
-    use ssmdst_sim::{Automaton, Message, Network, Outbox};
-
-    #[derive(Debug, Clone)]
-    struct Token;
-    impl Message for Token {
-        fn kind(&self) -> &'static str {
-            "Token"
-        }
-        fn size_bits(&self, _n: usize) -> usize {
-            1
-        }
-    }
-
-    struct Sentinel {
-        first_neighbor: Option<u32>,
-        active: bool,
-    }
-    impl Automaton for Sentinel {
-        type Msg = Token;
-        fn tick(&mut self, out: &mut Outbox<Token>) {
-            if let Some(w) = self.first_neighbor {
-                out.send(w, Token);
-            }
-        }
-        fn receive(&mut self, _: u32, _: Token, _: &mut Outbox<Token>) {}
-        fn enabled(&self) -> bool {
-            self.active
-        }
-    }
+    // The workload definition is shared with the S1–S3 experiments
+    // (`experiments::fabric`), so this group and the committed
+    // BENCH_flat_fabric.json measure the identical regime.
+    use ssmdst_bench::experiments::fabric::sentinel_network;
 
     let mut g = c.benchmark_group("engine-compare-sparse");
     g.sample_size(20);
-    for n in [256usize, 1024] {
-        let graph = GraphFamily::GnpSparse.generate(n, 1);
-        let make_net = || {
-            Network::from_graph(&graph, |v, nbrs| Sentinel {
-                first_neighbor: nbrs.first().copied(),
-                active: v == 0,
-            })
+    // 4096 uses the skip-sampling generator: the O(n²) coin-flip loop of
+    // GnpSparse would dominate setup long before the bench body runs.
+    // (The full S1–S3 sweep to n = 65 536 lives in `experiments -- s1..s3`
+    // and is committed as BENCH_flat_fabric.json.)
+    for n in [256usize, 1024, 4096] {
+        let graph = if n <= 1024 {
+            GraphFamily::GnpSparse.generate(n, 1)
+        } else {
+            ssmdst_graph::generators::random::gnp_connected_sparse(n, 8.0 / n as f64, 1)
         };
         g.bench_with_input(BenchmarkId::new("event-engine", n), &(), |b, _| {
-            let mut r = Runner::new(make_net(), Scheduler::Synchronous);
+            let mut r = Runner::new(sentinel_network(&graph), Scheduler::Synchronous);
             b.iter(|| {
                 r.step_round();
                 black_box(r.round())
             })
         });
         g.bench_with_input(BenchmarkId::new("legacy-rescan", n), &(), |b, _| {
-            let mut r = Runner::new(make_net(), Scheduler::Synchronous);
+            let mut r = Runner::new(sentinel_network(&graph), Scheduler::Synchronous);
             b.iter(|| {
                 r.step_round_rescan();
                 black_box(r.round())

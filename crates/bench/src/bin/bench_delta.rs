@@ -1,0 +1,130 @@
+//! Non-blocking perf delta: compare per-experiment wall times between two
+//! `experiments --json` documents.
+//!
+//! ```text
+//! cargo run --release -p ssmdst-bench --bin bench-delta -- \
+//!     BENCH_event_engine.json BENCH_flat_fabric.json
+//! ```
+//!
+//! Prints one row per experiment id found in either file with the wall-ms
+//! of each and the ratio — the obligation-discovery story of a PR at a
+//! glance (for the fabric refactor: D rows ≈ flat, S rows new). The tool
+//! is CI furniture, not a gate: it always exits 0, including when a file
+//! is missing or unparsable, so the step stays informational.
+
+use std::fmt::Write as _;
+
+/// Extract `(id, wall_ms)` pairs from an experiments-JSON document. The
+/// format is the one `experiments --json` writes (one experiment object
+/// per line); a hand-rolled scanner keeps the offline build serde-free.
+fn extract(doc: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(i) = rest.find("\"id\":\"") {
+        rest = &rest[i + 6..];
+        let Some(end) = rest.find('"') else { break };
+        let id = rest[..end].to_string();
+        // Search wall_ms only within this record (up to the next "id":),
+        // so a record missing the field is skipped rather than stealing
+        // the following record's timing.
+        let record = match rest.find("\"id\":\"") {
+            Some(next) => &rest[..next],
+            None => rest,
+        };
+        if let Some(w) = record.find("\"wall_ms\":") {
+            let tail = &record[w + 10..];
+            let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if let Ok(ms) = digits.parse::<u64>() {
+                out.push((id, ms));
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match (args.first(), args.get(1)) {
+        (Some(a), Some(b)) => (a.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: bench-delta OLD.json NEW.json (non-blocking: exiting 0)");
+            return;
+        }
+    };
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench-delta: cannot read {p}: {e} (non-blocking: exiting 0)");
+            None
+        }
+    };
+    let (Some(old_doc), Some(new_doc)) = (read(&old_path), read(&new_path)) else {
+        return;
+    };
+    let old = extract(&old_doc);
+    let new = extract(&new_doc);
+
+    let mut ids: Vec<String> = old.iter().chain(&new).map(|(id, _)| id.clone()).collect();
+    ids.sort();
+    ids.dedup();
+
+    let find = |set: &[(String, u64)], id: &str| set.iter().find(|(k, _)| k == id).map(|&(_, v)| v);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{:<6} {:>12} {:>12} {:>8}",
+        "id", "old ms", "new ms", "ratio"
+    );
+    let _ = writeln!(report, "{}", "-".repeat(42));
+    for id in &ids {
+        let (o, n) = (find(&old, id), find(&new, id));
+        let row = match (o, n) {
+            (Some(o), Some(n)) => {
+                let ratio = if o == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.2}x", n as f64 / o as f64)
+                };
+                format!("{id:<6} {o:>12} {n:>12} {ratio:>8}")
+            }
+            (Some(o), None) => format!("{id:<6} {o:>12} {:>12} {:>8}", "gone", "-"),
+            (None, Some(n)) => format!("{id:<6} {:>12} {n:>12} {:>8}", "new", "-"),
+            (None, None) => continue,
+        };
+        let _ = writeln!(report, "{row}");
+    }
+    println!("# wall-time deltas: {old_path} → {new_path}\n");
+    print!("{report}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::extract;
+
+    #[test]
+    fn extracts_ids_and_wall_times_in_order() {
+        let doc = r#"{"suite":"x","experiments":[
+{"id":"t1","title":"T1 — q","wall_ms":44,"table":{}},
+{"id":"s1","title":"S1","wall_ms":1203,"table":{}}
+]}"#;
+        assert_eq!(
+            extract(doc),
+            vec![("t1".to_string(), 44), ("s1".to_string(), 1203)]
+        );
+    }
+
+    #[test]
+    fn tolerates_garbage() {
+        assert!(extract("not json at all").is_empty());
+        assert!(extract("{\"id\":\"t1\"}").is_empty(), "no wall_ms: skipped");
+    }
+
+    #[test]
+    fn record_missing_wall_ms_does_not_steal_the_next_ones() {
+        // A truncated record must be dropped, not attributed the timing of
+        // the experiment after it.
+        let doc = r#"{"id":"t1","title":"broken"},
+{"id":"t2","wall_ms":5,"table":{}}"#;
+        assert_eq!(extract(doc), vec![("t2".to_string(), 5)]);
+    }
+}

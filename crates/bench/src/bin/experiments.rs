@@ -46,7 +46,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = [
             "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "d1",
-            "d2", "d3",
+            "d2", "d3", "s1", "s2", "s3",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -106,6 +106,18 @@ fn main() {
             "d3" => (
                 "D3 — dynamic topology: partition/heal re-convergence",
                 ex::d3_partition_heal(&profile),
+            ),
+            "s1" => (
+                "S1 — fabric scale: sparse G(n,p), mean degree 8",
+                ex::s1_scale_gnp(&profile),
+            ),
+            "s2" => (
+                "S2 — fabric scale: near-regular, degree 8",
+                ex::s2_scale_regular(&profile),
+            ),
+            "s3" => (
+                "S3 — fabric scale: Barabási–Albert, attachment 2",
+                ex::s3_scale_ba(&profile),
             ),
             other => {
                 eprintln!("unknown experiment id: {other}");

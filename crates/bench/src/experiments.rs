@@ -22,6 +22,11 @@ pub struct Profile {
     pub small_sizes: Vec<usize>,
     /// Sizes for scaling experiments (lower bounds only).
     pub large_sizes: Vec<usize>,
+    /// Sizes for the S1–S3 message-fabric scale experiments. These run the
+    /// fabric (not protocol convergence), so tens of thousands of nodes
+    /// stay affordable even in the quick profile; the first entry is the
+    /// baseline the flat-discovery ratio is reported against.
+    pub scale_sizes: Vec<usize>,
     /// Random seeds per configuration.
     pub seeds: Vec<u64>,
     /// Round cap per run.
@@ -34,6 +39,7 @@ impl Profile {
         Profile {
             small_sizes: vec![12],
             large_sizes: vec![16, 24],
+            scale_sizes: vec![256, 4096, 65536],
             seeds: vec![1],
             max_rounds: 60_000,
         }
@@ -44,6 +50,7 @@ impl Profile {
         Profile {
             small_sizes: vec![12, 16],
             large_sizes: vec![16, 24, 32, 48, 64],
+            scale_sizes: vec![256, 4096, 16384, 65536],
             seeds: vec![1, 2, 3],
             max_rounds: 400_000,
         }
@@ -657,6 +664,220 @@ pub fn d3_partition_heal(p: &Profile) -> Table {
     churn_table(&g, &plan, p, "split")
 }
 
+// ----------------------------------------------------------------------
+// S family — message-fabric scale (n = 256 … 65 536)
+// ----------------------------------------------------------------------
+
+/// Workloads for the fabric scale sweep. They drive the *fabric*, not
+/// protocol convergence: the quantity under test is what one round costs
+/// at n = 65 536, which is a property of slot addressing and the
+/// occupancy/tick indices, independent of the MDST rules.
+///
+/// Public because `benches/simulator.rs` reuses the same workloads for the
+/// criterion `engine-compare-sparse` group — one definition, so the S
+/// tables and the micro-benchmarks measure the identical regime.
+pub mod fabric {
+    use ssmdst_sim::{Automaton, Message, Network, Outbox, Runner, Scheduler};
+    use std::time::Instant;
+
+    #[derive(Debug, Clone, Copy)]
+    pub struct Token;
+    impl Message for Token {
+        fn kind(&self) -> &'static str {
+            "Token"
+        }
+        fn size_bits(&self, _n: usize) -> usize {
+            1
+        }
+    }
+
+    /// One sentinel circulates a token; everyone else is disabled — two
+    /// obligations per round, so per-round cost ≈ pure discovery cost.
+    pub struct Sentinel {
+        first_neighbor: Option<u32>,
+        active: bool,
+    }
+    impl Automaton for Sentinel {
+        type Msg = Token;
+        fn tick(&mut self, out: &mut Outbox<Token>) {
+            if let Some(w) = self.first_neighbor {
+                out.send(w, Token);
+            }
+        }
+        fn receive(&mut self, _: u32, _: Token, _: &mut Outbox<Token>) {}
+        fn enabled(&self) -> bool {
+            self.active
+        }
+    }
+
+    /// Every node gossips to all neighbors every round — the
+    /// obligation-dense regime, measuring per-obligation execution cost.
+    pub struct Gossip {
+        neighbors: Vec<u32>,
+        heard: u64,
+    }
+    impl Automaton for Gossip {
+        type Msg = Token;
+        fn tick(&mut self, out: &mut Outbox<Token>) {
+            for &w in &self.neighbors {
+                out.send(w, Token);
+            }
+        }
+        fn receive(&mut self, _: u32, _: Token, _: &mut Outbox<Token>) {
+            self.heard += 1;
+        }
+    }
+
+    /// The sparse-activity workload over `g`: node 0 circulates a token,
+    /// everyone else is disabled.
+    pub fn sentinel_network(g: &ssmdst_graph::Graph) -> Network<Sentinel> {
+        Network::from_graph(g, |v, nbrs| Sentinel {
+            first_neighbor: nbrs.first().copied(),
+            active: v == 0,
+        })
+    }
+
+    /// The obligation-dense workload over `g`: everyone gossips to every
+    /// neighbor every round.
+    pub fn gossip_network(g: &ssmdst_graph::Graph) -> Network<Gossip> {
+        Network::from_graph(g, |_, nbrs| Gossip {
+            neighbors: nbrs.to_vec(),
+            heard: 0,
+        })
+    }
+
+    pub struct FabricRow {
+        pub n: usize,
+        pub m: usize,
+        pub slots: usize,
+        pub build_us: u128,
+        pub event_ns_per_round: f64,
+        pub rescan_ns_per_round: f64,
+        pub gossip_ns_per_obligation: f64,
+    }
+
+    /// Measure one instance: fabric build time, sparse-activity round cost
+    /// on both discovery paths, and dense-gossip per-obligation cost.
+    pub fn measure(g: &ssmdst_graph::Graph) -> FabricRow {
+        let build_start = Instant::now();
+        let sentinel_net = sentinel_network(g);
+        let build_us = build_start.elapsed().as_micros();
+        let slots = sentinel_net.slot_count();
+
+        // Sparse activity, event engine: cheap per round, so many rounds.
+        let mut r = Runner::new(sentinel_net, Scheduler::Synchronous);
+        let warmup = 64u64;
+        for _ in 0..warmup {
+            r.step_round();
+        }
+        let rounds = 16_384u64;
+        let t = Instant::now();
+        for _ in 0..rounds {
+            r.step_round();
+        }
+        let event_ns_per_round = t.elapsed().as_nanos() as f64 / rounds as f64;
+
+        // Same workload on the legacy full-rescan path: per-round cost is
+        // O(n + slots), so scale the round count down to keep the sweep
+        // bounded while retaining enough samples.
+        let rescan_rounds = (1u64 << 24)
+            .checked_div((g.n() + slots) as u64)
+            .unwrap_or(1)
+            .clamp(64, 16_384);
+        let t = Instant::now();
+        for _ in 0..rescan_rounds {
+            r.step_round_rescan();
+        }
+        let rescan_ns_per_round = t.elapsed().as_nanos() as f64 / rescan_rounds as f64;
+
+        // Dense gossip: a handful of rounds is plenty — each already
+        // executes ~n + 2m obligations.
+        let mut r = Runner::new(gossip_network(g), Scheduler::Synchronous);
+        for _ in 0..2 {
+            r.step_round(); // warm channel capacities
+        }
+        let gossip_rounds = 6u64;
+        let delivered_before = r.network().metrics.total_delivered;
+        let t = Instant::now();
+        for _ in 0..gossip_rounds {
+            r.step_round();
+        }
+        let elapsed = t.elapsed().as_nanos() as f64;
+        let obligations =
+            (r.network().metrics.total_delivered - delivered_before) + gossip_rounds * g.n() as u64;
+        let gossip_ns_per_obligation = elapsed / obligations as f64;
+
+        FabricRow {
+            n: g.n(),
+            m: g.m(),
+            slots,
+            build_us,
+            event_ns_per_round,
+            rescan_ns_per_round,
+            gossip_ns_per_obligation,
+        }
+    }
+}
+
+/// Shared body of the S experiments: sweep `p.scale_sizes`, one row per
+/// size. The `disc vs n₀` column is event-engine discovery cost relative
+/// to the sweep's smallest size — the "flat, not log-linear" claim is that
+/// it stays O(1)-ish while `rescan/event` grows linearly with n.
+fn scale_table(p: &Profile, gen: impl Fn(usize, u64) -> Graph) -> Table {
+    let mut t = Table::new(vec![
+        "n",
+        "m",
+        "slots",
+        "build µs",
+        "event ns/round",
+        "rescan ns/round",
+        "rescan/event",
+        "gossip ns/oblig",
+        "disc vs n₀",
+    ]);
+    let mut baseline: Option<f64> = None;
+    for &n in &p.scale_sizes {
+        let g = gen(n, p.seeds[0]);
+        let row = fabric::measure(&g);
+        let base = *baseline.get_or_insert(row.event_ns_per_round);
+        t.row(vec![
+            row.n.to_string(),
+            row.m.to_string(),
+            row.slots.to_string(),
+            row.build_us.to_string(),
+            format!("{:.0}", row.event_ns_per_round),
+            format!("{:.0}", row.rescan_ns_per_round),
+            format!("{:.1}x", row.rescan_ns_per_round / row.event_ns_per_round),
+            format!("{:.1}", row.gossip_ns_per_obligation),
+            format!("{:.2}x", row.event_ns_per_round / base),
+        ]);
+    }
+    t
+}
+
+/// **S1 — Fabric scale on sparse G(n,p)** (mean degree 8, skip-sampled
+/// generation, connectivity-repaired).
+pub fn s1_scale_gnp(p: &Profile) -> Table {
+    scale_table(p, |n, seed| {
+        ssmdst_graph::generators::random::gnp_connected_sparse(n, 8.0 / n as f64, seed)
+    })
+}
+
+/// **S2 — Fabric scale on near-regular graphs** (target degree 8).
+pub fn s2_scale_regular(p: &Profile) -> Table {
+    scale_table(p, |n, seed| {
+        ssmdst_graph::generators::random::near_regular(n, 8, seed)
+    })
+}
+
+/// **S3 — Fabric scale on Barabási–Albert graphs** (attachment 2 —
+/// heavy-tailed degrees stress the per-row binary search with hub rows).
+pub fn s3_scale_ba(p: &Profile) -> Table {
+    scale_table(p, |n, seed| {
+        ssmdst_graph::generators::random::barabasi_albert(n, 2, seed)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +886,7 @@ mod tests {
         Profile {
             small_sizes: vec![10],
             large_sizes: vec![12],
+            scale_sizes: vec![64, 128],
             seeds: vec![1],
             max_rounds: 40_000,
         }
@@ -750,6 +972,25 @@ mod tests {
         let t = d2_node_churn(&tiny());
         assert!(t.len() >= 3 * 3, "rows:\n{}", t.render());
         assert!(!t.render().contains("NO"), "failure:\n{}", t.render());
+    }
+
+    #[test]
+    fn s_family_sweeps_every_scale_size() {
+        // Debug-build timings are meaningless; the test pins shape and
+        // sanity (positive costs, slots == 2m) on tiny sizes.
+        let p = tiny();
+        for t in [s1_scale_gnp(&p), s2_scale_regular(&p), s3_scale_ba(&p)] {
+            assert_eq!(t.len(), p.scale_sizes.len(), "table:\n{}", t.render());
+            let s = t.render();
+            assert!(!s.contains("NaN") && !s.contains("inf"), "bad row:\n{s}");
+            for (line, &n) in s.lines().skip(2).zip(&p.scale_sizes) {
+                let cells: Vec<&str> = line.split_whitespace().collect();
+                assert_eq!(cells[0], n.to_string());
+                let m: usize = cells[1].parse().unwrap();
+                let slots: usize = cells[2].parse().unwrap();
+                assert_eq!(slots, 2 * m, "slots must be 2m:\n{s}");
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub mod structured;
 
 pub use gadgets::{double_broom, hamiltonian_with_chords, multi_hub, spider, wheel_with_spokes};
 pub use geometric::random_geometric;
-pub use random::{barabasi_albert, gnm_connected, gnp_connected, near_regular};
+pub use random::{
+    barabasi_albert, gnm_connected, gnp_connected, gnp_connected_sparse, near_regular,
+};
 pub use structured::{
     complete, complete_bipartite, cycle, grid, hypercube, path, star_with_ring, torus,
 };

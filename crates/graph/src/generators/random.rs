@@ -67,6 +67,74 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
     b.build()
 }
 
+/// Sparse Erdős–Rényi `G(n, p)` via geometric skip sampling, repaired to
+/// be connected — `O(n + pn²)` expected instead of the `O(n²)` coin flips
+/// of [`gnp_connected`], which is what makes the S1 scale experiments
+/// (n up to 65 536) feasible.
+///
+/// The draw sequence differs from [`gnp_connected`]'s, so the two produce
+/// *different* (both deterministic) instances for the same seed; existing
+/// experiment families keep using `gnp_connected` so their committed
+/// numbers stay comparable.
+///
+/// # Panics
+/// Panics if `n == 0` or `p` is not in `[0, 1)`.
+pub fn gnp_connected_sparse(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0, "gnp_sparse: n must be positive");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "gnp_sparse: p must be in [0,1) (use gnp_connected for dense p)"
+    );
+    let mut r = rng(seed);
+    let mut b = GraphBuilder::new(n);
+    if p > 0.0 {
+        // Walk the linearized upper triangle, jumping geometric gaps:
+        // skip ~ floor(ln(U) / ln(1-p)) misses between successive edges.
+        // ln_1p keeps the denominator exact for tiny p, where (1.0 - p)
+        // would round to 1.0 and collapse every skip to zero (a complete-
+        // graph death march instead of an almost-empty graph).
+        let total = n as u64 * (n as u64 - 1) / 2;
+        let inv_log = 1.0 / (-p).ln_1p();
+        let mut idx: u64 = 0;
+        loop {
+            let u01: f64 = r.random::<f64>().max(f64::MIN_POSITIVE);
+            let skip = (u01.ln() * inv_log).floor() as u64;
+            idx = match idx.checked_add(skip) {
+                Some(i) if i < total => i,
+                _ => break,
+            };
+            let (u, v) = triangle_unrank(idx, n as u64);
+            b.add_edge_dedup(u, v).expect("gnp_sparse edge valid");
+            idx += 1;
+            if idx >= total {
+                break;
+            }
+        }
+    }
+    connect_components(&mut b, n, &mut r);
+    b.build()
+}
+
+/// Inverse of the row-major linearization of the strict upper triangle:
+/// maps `idx ∈ [0, n(n-1)/2)` to the pair `(u, v)`, `u < v`.
+fn triangle_unrank(idx: u64, n: u64) -> (NodeId, NodeId) {
+    // Row u starts at offset u*n - u*(u+1)/2. Solve by binary search to
+    // stay exact at 64-bit scale (float sqrt loses ulps past 2^26).
+    let row_start = |u: u64| u * n - u * (u + 1) / 2;
+    let (mut lo, mut hi) = (0u64, n - 1);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if row_start(mid) <= idx {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    let u = lo;
+    let v = u + 1 + (idx - row_start(u));
+    (u as NodeId, v as NodeId)
+}
+
 /// Erdős–Rényi `G(n, m)`: exactly `m` random edges (before connectivity
 /// repair, which may add a few more).
 ///
@@ -157,8 +225,13 @@ pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
             .expect("cycle edge");
     }
     let mut deg = vec![2usize; n];
+    // Track how many nodes still sit below the target degree incrementally:
+    // re-scanning `deg` on every attempt made the loop guard O(n), turning
+    // large-n generation quadratic. The accepted-edge sequence (and thus
+    // the generated instance per seed) is unchanged — only the guard is.
+    let mut below = deg.iter().filter(|&&x| x < d).count();
     let mut attempts = 0usize;
-    while deg.iter().any(|&x| x < d) && attempts < 100 * n * d {
+    while below > 0 && attempts < 100 * n * d {
         attempts += 1;
         let u = r.random_range(0..n as u32);
         let v = r.random_range(0..n as u32);
@@ -168,8 +241,12 @@ pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
         let before = b.staged_edges();
         b.add_edge_dedup(u, v).expect("regular edge");
         if b.staged_edges() > before {
-            deg[u as usize] += 1;
-            deg[v as usize] += 1;
+            for x in [u, v] {
+                deg[x as usize] += 1;
+                if deg[x as usize] == d {
+                    below -= 1;
+                }
+            }
         }
     }
     b.build()
@@ -246,5 +323,53 @@ mod tests {
         assert_eq!(gnm_connected(25, 40, 7), gnm_connected(25, 40, 7));
         assert_eq!(barabasi_albert(25, 2, 7), barabasi_albert(25, 2, 7));
         assert_eq!(near_regular(25, 3, 7), near_regular(25, 3, 7));
+        assert_eq!(
+            gnp_connected_sparse(500, 0.01, 7),
+            gnp_connected_sparse(500, 0.01, 7)
+        );
+    }
+
+    #[test]
+    fn gnp_sparse_is_connected_with_plausible_density() {
+        let n = 2000usize;
+        let p = 8.0 / n as f64; // mean degree 8
+        let g = gnp_connected_sparse(n, p, 3);
+        assert!(is_connected(&g));
+        let expect = p * (n * (n - 1) / 2) as f64;
+        // Binomial concentration: ±30% of the mean is > 10 sigma out.
+        assert!(
+            (g.m() as f64) > 0.7 * expect && (g.m() as f64) < 1.3 * expect,
+            "m = {} vs expected ≈ {expect:.0}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn gnp_sparse_p_zero_becomes_a_tree_after_repair() {
+        let g = gnp_connected_sparse(12, 0.0, 1);
+        assert!(is_connected(&g));
+        assert_eq!(g.m(), 11);
+    }
+
+    #[test]
+    fn gnp_sparse_subnormal_p_stays_sparse() {
+        // Regression: with 1/ln(1-p), p below ~5e-17 made every skip zero
+        // and staged the complete graph; ln_1p keeps the skips geometric.
+        let g = gnp_connected_sparse(300, 1e-17, 2);
+        assert!(is_connected(&g));
+        assert_eq!(g.m(), 299, "only the connectivity-repair tree edges");
+    }
+
+    #[test]
+    fn triangle_unrank_covers_the_upper_triangle() {
+        let n = 7u64;
+        let mut seen = Vec::new();
+        for idx in 0..n * (n - 1) / 2 {
+            let (u, v) = triangle_unrank(idx, n);
+            assert!(u < v && (v as u64) < n, "idx {idx} → ({u},{v})");
+            seen.push((u, v));
+        }
+        seen.dedup();
+        assert_eq!(seen.len() as u64, n * (n - 1) / 2);
     }
 }

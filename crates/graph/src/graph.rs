@@ -1,17 +1,25 @@
-//! Immutable simple undirected graph with sorted adjacency lists.
+//! Immutable simple undirected graph in CSR (compressed sparse row) form.
 //!
 //! The representation is tuned for the access patterns of the protocol
 //! simulator and the solvers:
 //!
 //! * `neighbors(v)` returns a sorted slice (the protocol iterates a node's
-//!   neighborhood on every `InfoMsg`),
+//!   neighborhood on every `InfoMsg`) — one contiguous window of a single
+//!   flat array, not a per-node heap allocation,
 //! * a canonical edge list `edges()` with stable [`EdgeId`]s (the degree
 //!   reduction module is driven by non-tree edges),
-//! * O(log δ) adjacency tests via binary search.
+//! * O(log δ) adjacency tests via binary search,
+//! * **directed-adjacency slot ids** ([`Graph::slot_of`]): every directed
+//!   edge `(v, w)` owns the index of `w` inside the flat adjacency array.
+//!   Slot ids are dense (`0..2m`), stable for the lifetime of the graph,
+//!   and ordered lexicographically by `(v, w)` — the message fabric in
+//!   `ssmdst-sim` addresses its FIFO channels by slot (`channel[slot]`)
+//!   instead of through an ordered map.
 
 use crate::error::GraphError;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Dense node identifier, `0..n`.
 pub type NodeId = u32;
@@ -28,8 +36,12 @@ pub type EdgeId = u32;
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Graph {
     n: u32,
-    /// Sorted adjacency lists, one per node.
-    adj: Vec<Vec<NodeId>>,
+    /// CSR row offsets: node `v`'s neighbors (and directed slots) live at
+    /// `adj[row_ptr[v] .. row_ptr[v + 1]]`. Length `n + 1`.
+    row_ptr: Vec<u32>,
+    /// Flat sorted adjacency: the concatenation of every node's sorted
+    /// neighbor list. An index into this array is a directed slot id.
+    adj: Vec<NodeId>,
     /// Canonical edge list with `u < v`, sorted lexicographically.
     edges: Vec<(NodeId, NodeId)>,
 }
@@ -53,34 +65,78 @@ impl Graph {
         0..self.n
     }
 
-    /// Sorted neighbors of `v`.
+    /// Sorted neighbors of `v` — a contiguous CSR row.
     ///
     /// # Panics
     /// Panics if `v >= n`.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v as usize]
+        &self.adj[self.row_ptr[v as usize] as usize..self.row_ptr[v as usize + 1] as usize]
     }
 
     /// Degree of `v` in the graph (not in any tree).
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v as usize].len()
+        (self.row_ptr[v as usize + 1] - self.row_ptr[v as usize]) as usize
     }
 
     /// Maximum degree δ of the network.
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Minimum degree of the network.
     pub fn min_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+        (0..self.n).map(|v| self.degree(v)).min().unwrap_or(0)
     }
 
     /// Whether `{u, v}` is an edge. O(log δ).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        u != v && (u as usize) < self.adj.len() && self.adj[u as usize].binary_search(&v).is_ok()
+        u != v && u < self.n && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Directed-adjacency slots (the message-fabric addressing scheme)
+    // ------------------------------------------------------------------
+
+    /// Number of directed-adjacency slots (`2m`). Slot ids are dense in
+    /// `0..directed_slots()` and lexicographic in `(source, target)`.
+    #[inline]
+    pub fn directed_slots(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The directed slot id of `(v, w)` if `{v, w}` is an edge: CSR row
+    /// offset plus the binary-search position of `w` in `v`'s row. O(log δ).
+    #[inline]
+    pub fn slot_of(&self, v: NodeId, w: NodeId) -> Option<u32> {
+        if v >= self.n {
+            return None;
+        }
+        self.neighbors(v)
+            .binary_search(&w)
+            .ok()
+            .map(|i| self.row_ptr[v as usize] + i as u32)
+    }
+
+    /// The first directed slot owned by `v`; `v`'s slots are the contiguous
+    /// range `row_start(v) .. row_start(v) + degree(v)`, aligned with
+    /// [`Graph::neighbors`].
+    #[inline]
+    pub fn row_start(&self, v: NodeId) -> u32 {
+        self.row_ptr[v as usize]
+    }
+
+    /// Endpoints `(source, target)` of directed slot `s`. The source is
+    /// recovered by binary search over the row offsets (O(log n)); the hot
+    /// paths in the simulator keep their own O(1) slot tables instead.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    pub fn slot_endpoints(&self, s: u32) -> (NodeId, NodeId) {
+        let target = self.adj[s as usize];
+        let source = self.row_ptr.partition_point(|&off| off <= s) - 1;
+        (source as NodeId, target)
     }
 
     /// Canonical edge list: pairs `(u, v)` with `u < v`, lexicographically
@@ -108,7 +164,7 @@ impl Graph {
 
     /// Sum of degrees == 2m; sanity invariant used by property tests.
     pub fn degree_sum(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.adj.len()
     }
 }
 
@@ -130,6 +186,17 @@ impl Graph {
 pub struct GraphBuilder {
     n: u32,
     edges: Vec<(NodeId, NodeId)>,
+    /// O(1) duplicate probe over canonical keys (`u < v` packed into a
+    /// `u64`), so randomized generators can stage E edges in O(E) expected
+    /// time instead of the O(E²) a per-insert linear scan would cost.
+    staged: HashSet<u64>,
+}
+
+/// Canonical `u64` key for the undirected edge `{u, v}`.
+#[inline]
+fn edge_key(u: NodeId, v: NodeId) -> u64 {
+    let (a, b) = if u < v { (u, v) } else { (v, u) };
+    ((a as u64) << 32) | b as u64
 }
 
 impl GraphBuilder {
@@ -139,6 +206,7 @@ impl GraphBuilder {
         GraphBuilder {
             n: n as u32,
             edges: Vec::new(),
+            staged: HashSet::new(),
         }
     }
 
@@ -160,10 +228,12 @@ impl GraphBuilder {
             }
         }
         let key = if u < v { (u, v) } else { (v, u) };
-        // Duplicate detection is deferred to `build` for generators that add
-        // many edges, but we check eagerly here to give precise errors when
-        // the builder is used by hand.
-        if self.edges.contains(&key) {
+        // Precise eager duplicate errors stay, but at O(1) expected cost: a
+        // hash probe replaces the old linear `edges.contains` scan that made
+        // randomized-generator builds O(E²). `build` still sorts + dedups as
+        // a belt-and-suspenders pass, so the canonical edge list is correct
+        // even if this probe is ever bypassed.
+        if !self.staged.insert(edge_key(u, v)) {
             return Err(GraphError::DuplicateEdge { u: key.0, v: key.1 });
         }
         self.edges.push(key);
@@ -184,20 +254,41 @@ impl GraphBuilder {
         self.edges.len()
     }
 
-    /// Finalize into an immutable [`Graph`].
+    /// Finalize into an immutable [`Graph`]: sort + dedup the canonical
+    /// edge list, then assemble the CSR arrays in two counting passes
+    /// (O(n + m), no per-node allocations).
     pub fn build(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); self.n as usize];
+        let n = self.n as usize;
+        let mut row_ptr = vec![0u32; n + 1];
         for &(u, v) in &self.edges {
-            adj[u as usize].push(v);
-            adj[v as usize].push(u);
+            row_ptr[u as usize + 1] += 1;
+            row_ptr[v as usize + 1] += 1;
         }
-        for a in &mut adj {
-            a.sort_unstable();
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
         }
+        let mut cursor = row_ptr.clone();
+        let mut adj = vec![0 as NodeId; 2 * self.edges.len()];
+        for &(u, v) in &self.edges {
+            adj[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Rows come out sorted for free: row `v` is filled from the
+        // lexicographically sorted edge list, so it first receives the `w`s
+        // of all edges `(w, v)` with `w < v` (ascending in `w`), then the
+        // `x`s of all edges `(v, x)` with `x > v` (ascending in `x`).
+        debug_assert!((0..n).all(|v| {
+            adj[row_ptr[v] as usize..row_ptr[v + 1] as usize]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
         Graph {
             n: self.n,
+            row_ptr,
             adj,
             edges: self.edges,
         }
@@ -298,5 +389,65 @@ mod tests {
         assert_eq!(g.neighbors(3), &[0, 1, 2, 4]);
         assert_eq!(g.max_degree(), 4);
         assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn slots_are_dense_lexicographic_and_roundtrip() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(g.directed_slots(), 2 * g.m());
+        // Slot ids enumerate (source, target) lexicographically.
+        let mut expected = 0u32;
+        for v in g.nodes() {
+            assert_eq!(g.row_start(v), expected);
+            for &w in g.neighbors(v) {
+                assert_eq!(g.slot_of(v, w), Some(expected));
+                assert_eq!(g.slot_endpoints(expected), (v, w));
+                expected += 1;
+            }
+        }
+        assert_eq!(expected as usize, g.directed_slots());
+        // Non-edges and out-of-range sources have no slot.
+        assert_eq!(g.slot_of(0, 2), None);
+        assert_eq!(g.slot_of(0, 0), None);
+        assert_eq!(g.slot_of(9, 0), None);
+    }
+
+    #[test]
+    fn slot_endpoints_skip_isolated_nodes() {
+        // Node 1 is isolated: its empty CSR row must not confuse the
+        // slot-to-source recovery.
+        let g = graph_from_edges(4, &[(0, 2), (2, 3)]);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.slot_endpoints(0), (0, 2));
+        assert_eq!(g.slot_endpoints(1), (2, 0));
+        assert_eq!(g.slot_endpoints(2), (2, 3));
+        assert_eq!(g.slot_endpoints(3), (3, 2));
+    }
+
+    /// Regression: staging E edges must be O(E) expected, not O(E²). The
+    /// old per-insert `Vec::contains` scan made this complete-graph build
+    /// (~180k edges, plus 180k duplicate probes) take on the order of
+    /// 10¹⁰ comparisons — far beyond any test timeout; with the hash probe
+    /// it finishes in well under a second even unoptimized.
+    #[test]
+    fn large_build_is_linear_not_quadratic() {
+        let n: u32 = 600;
+        let mut b = GraphBuilder::new(n as usize);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        // Duplicate probes are O(1) too, in both orientations.
+        for u in 0..n {
+            for v in (u + 1)..n {
+                assert!(b.add_edge_dedup(v, u).is_ok());
+            }
+        }
+        let m = (n as usize) * (n as usize - 1) / 2;
+        assert_eq!(b.staged_edges(), m);
+        let g = b.build();
+        assert_eq!(g.m(), m);
+        assert_eq!(g.max_degree(), n as usize - 1);
     }
 }

@@ -1,0 +1,177 @@
+//! [`DenseSet`]: an O(1) membership set over dense `u32` keys.
+//!
+//! The flat message fabric needs two incremental indices — "which channel
+//! slots are non-empty" and "which nodes have an enabled tick" — whose
+//! empty↔non-empty transitions fire on *every* send and delivery. A
+//! `BTreeSet` makes each transition `O(log k)` plus node allocations; this
+//! structure makes them O(1) and allocation-free at steady state:
+//!
+//! * `list` — the members, unordered, contiguous (iterate / snapshot in
+//!   O(k));
+//! * `pos` — for every possible key, its index in `list`, or `NONE`.
+//!
+//! Removal swap-removes from `list` and patches the displaced member's
+//! `pos` entry. The price is that `list` is unordered; callers that need a
+//! canonical order (the deterministic engine does) sort their snapshot —
+//! an O(k log k) cost on the *obligation count*, never on the universe
+//! size, with no per-operation tree rebalancing.
+
+/// Sentinel for "not a member".
+const NONE: u32 = u32::MAX;
+
+/// O(1) insert/remove/contains set over keys `0..universe`, with O(k)
+/// unordered iteration. Grows its key space on demand.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DenseSet {
+    list: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+impl DenseSet {
+    pub(crate) fn new() -> Self {
+        DenseSet::default()
+    }
+
+    /// Number of members.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Whether `key` is a member. Keys beyond the current universe are
+    /// simply absent.
+    #[inline]
+    pub(crate) fn contains(&self, key: u32) -> bool {
+        self.pos.get(key as usize).is_some_and(|&p| p != NONE)
+    }
+
+    /// Insert `key`; no-op if already present. Amortized O(1) (the `pos`
+    /// table grows to cover the largest key ever seen, then stays put).
+    #[inline]
+    pub(crate) fn insert(&mut self, key: u32) {
+        if self.pos.len() <= key as usize {
+            self.pos.resize(key as usize + 1, NONE);
+        }
+        if self.pos[key as usize] == NONE {
+            self.pos[key as usize] = self.list.len() as u32;
+            self.list.push(key);
+        }
+    }
+
+    /// Remove `key`; no-op if absent. O(1) via swap-remove.
+    #[inline]
+    pub(crate) fn remove(&mut self, key: u32) {
+        let Some(&p) = self.pos.get(key as usize) else {
+            return;
+        };
+        if p == NONE {
+            return;
+        }
+        self.pos[key as usize] = NONE;
+        let last = self.list.pop().expect("non-empty: key was a member");
+        if last != key {
+            self.list[p as usize] = last;
+            self.pos[last as usize] = p;
+        }
+    }
+
+    /// The members, unordered. Stable only until the next mutation.
+    #[inline]
+    pub(crate) fn members(&self) -> &[u32] {
+        &self.list
+    }
+
+    /// Drop all members in O(k).
+    pub(crate) fn clear(&mut self) {
+        for &k in &self.list {
+            self.pos[k as usize] = NONE;
+        }
+        self.list.clear();
+    }
+
+    /// Structural audit for [`crate::network::Network::check_invariants`]:
+    /// `list` and `pos` must be exact inverses of each other.
+    pub(crate) fn check_consistent(&self) {
+        for (i, &k) in self.list.iter().enumerate() {
+            assert_eq!(
+                self.pos.get(k as usize).copied(),
+                Some(i as u32),
+                "DenseSet: member {k} at list[{i}] has wrong pos entry"
+            );
+        }
+        let members = self.list.len();
+        let claimed = self.pos.iter().filter(|&&p| p != NONE).count();
+        assert_eq!(claimed, members, "DenseSet: pos table claims ghost members");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = DenseSet::new();
+        assert!(s.is_empty());
+        s.insert(5);
+        s.insert(2);
+        s.insert(5); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(5) && s.contains(2));
+        assert!(!s.contains(0) && !s.contains(99));
+        s.remove(5);
+        assert!(!s.contains(5));
+        s.remove(5); // idempotent
+        s.remove(99); // beyond universe: no-op
+        assert_eq!(s.members(), &[2]);
+        s.check_consistent();
+    }
+
+    #[test]
+    fn swap_remove_patches_displaced_member() {
+        let mut s = DenseSet::new();
+        for k in [10, 20, 30] {
+            s.insert(k);
+        }
+        s.remove(10); // 30 is swapped into 10's list position
+        assert!(s.contains(30) && s.contains(20) && !s.contains(10));
+        s.check_consistent();
+        let mut m = s.members().to_vec();
+        m.sort_unstable();
+        assert_eq!(m, vec![20, 30]);
+    }
+
+    #[test]
+    fn clear_empties_and_stays_consistent() {
+        let mut s = DenseSet::new();
+        for k in 0..100 {
+            s.insert(k);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(50));
+        s.check_consistent();
+        s.insert(7);
+        assert_eq!(s.members(), &[7]);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut s = DenseSet::new();
+        for round in 0..50u32 {
+            for k in 0..200u32 {
+                if (k.wrapping_mul(2654435761) ^ round) & 1 == 0 {
+                    s.insert(k);
+                } else {
+                    s.remove(k);
+                }
+            }
+            s.check_consistent();
+        }
+    }
+}

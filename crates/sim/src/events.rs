@@ -4,64 +4,82 @@
 //! per message in flight at round start*. The old runner recomputed that
 //! set by scanning every node and every channel (`O(n + #channels)` per
 //! round even when almost nothing was happening); this queue derives it
-//! from two incremental indices instead:
+//! from two incremental indices instead — and since the flat-fabric
+//! refactor, neither index performs a single ordered-tree operation or
+//! heap allocation at steady state:
 //!
-//! * the **tick index** ([`EventQueue::ticks`]): the sorted set of nodes
-//!   that are alive and whose [`Automaton::enabled`] predicate holds. It is
-//!   refreshed from the network's dirty-node list — only nodes whose state
-//!   actually changed since the previous round are re-evaluated, an
-//!   `O(#changes · log n)` maintenance cost;
-//! * the network's **occupancy index**
-//!   ([`Network::nonempty_channels`]): non-empty channels are enumerated
-//!   directly, so delivery obligations cost `O(#obligations)` to list, not
-//!   `O(#channels)` to discover.
+//! * the **tick index** ([`EventQueue::ticks`]): the set of nodes that are
+//!   alive and whose [`Automaton::enabled`] predicate holds, kept in an
+//!   O(1)-transition [`DenseSet`]. It is refreshed from the network's
+//!   dirty-node list — only nodes whose state actually changed since the
+//!   previous round are re-evaluated;
+//! * the network's **occupancy index**: the non-empty channel slots,
+//!   snapshot in `O(#obligations)` straight off the fabric's swap-remove
+//!   occupancy list.
+//!
+//! Both snapshots land in reusable scratch buffers and are sorted there
+//! (ticks by node id, deliveries by slot id — which on a static topology
+//! is exactly `(from, to)` lexicographic order, the canonical enumeration
+//! the daemons key against). The per-round cost is `O(k log k)` in the
+//! round's own obligation count `k`, never in `n` or `#channels`.
 //!
 //! Each obligation is assigned a daemon-specific priority key
 //! ([`crate::scheduler::KeySource`]) at enumeration time and the batch is
-//! executed in ascending `(key, enumeration index)` order — `O(log k)`
-//! amortized per event, fully deterministic per `(scheduler, seed)`.
+//! executed in ascending `(key, enumeration index)` order — fully
+//! deterministic per `(scheduler, seed)`.
 
 use crate::automaton::Automaton;
+use crate::dense::DenseSet;
 use crate::network::Network;
 use crate::scheduler::{Action, KeySource};
 use crate::NodeId;
-use std::collections::BTreeSet;
 
 /// One pending event: daemon priority key, enumeration index (total-order
 /// tie-break), and the action itself.
 type Pending = (u128, u32, Action);
 
-/// Incremental obligation tracker + per-round pending-event buffer.
+/// Incremental obligation tracker + per-round pending-event buffers (all
+/// reused round to round — the steady-state loop never allocates).
 pub(crate) struct EventQueue {
     /// Alive nodes whose `enabled()` predicate held at last refresh.
-    ticks: BTreeSet<NodeId>,
+    ticks: DenseSet,
     /// Reusable buffer for the current round's keyed events.
     buf: Vec<Pending>,
+    /// Scratch: this round's tick set, sorted by node id.
+    tick_scratch: Vec<NodeId>,
+    /// Scratch: this round's occupied slots, sorted by slot id.
+    slot_scratch: Vec<u32>,
+    /// Scratch: dirty nodes drained from the network.
+    dirty_scratch: Vec<NodeId>,
 }
 
 impl EventQueue {
     pub(crate) fn new() -> Self {
         EventQueue {
-            ticks: BTreeSet::new(),
+            ticks: DenseSet::new(),
             buf: Vec::new(),
+            tick_scratch: Vec::new(),
+            slot_scratch: Vec::new(),
+            dirty_scratch: Vec::new(),
         }
     }
 
     /// Re-evaluate the enabled-tick predicate for every node the network
     /// marked dirty since the last call.
     pub(crate) fn refresh<A: Automaton>(&mut self, net: &mut Network<A>) {
-        for v in net.take_dirty() {
+        net.take_dirty_into(&mut self.dirty_scratch);
+        for &v in &self.dirty_scratch {
             if net.is_alive(v) && net.node(v).enabled() {
                 self.ticks.insert(v);
             } else {
-                self.ticks.remove(&v);
+                self.ticks.remove(v);
             }
         }
     }
 
     /// Build this round's pending events (canonical enumeration order:
-    /// ticks ascending, then channel deliveries in channel order) and hand
-    /// them back sorted into daemon execution order.
+    /// ticks ascending by node id, then channel deliveries ascending by
+    /// slot id) and hand them back sorted into daemon execution order.
     pub(crate) fn schedule<A: Automaton>(
         &mut self,
         round: u64,
@@ -69,15 +87,21 @@ impl EventQueue {
         net: &Network<A>,
     ) -> &[Pending] {
         self.buf.clear();
+        self.tick_scratch.clear();
+        self.tick_scratch.extend_from_slice(self.ticks.members());
+        self.tick_scratch.sort_unstable();
         let mut seq = 0u32;
-        for &v in &self.ticks {
+        for &v in &self.tick_scratch {
             let a = Action::Tick(v);
             self.buf.push((keys.key(round, &a), seq, a));
             seq += 1;
         }
-        for (from, to) in net.occupied_channels() {
+        net.occupied_slots_into(&mut self.slot_scratch);
+        self.slot_scratch.sort_unstable();
+        for &s in &self.slot_scratch {
+            let (from, to) = net.slot_endpoints(s);
             let a = Action::Deliver(from, to);
-            for _ in 0..net.channel_len(from, to) {
+            for _ in 0..net.slot_len(s) {
                 self.buf.push((keys.key(round, &a), seq, a));
                 seq += 1;
             }
@@ -87,10 +111,11 @@ impl EventQueue {
     }
 
     /// Like [`EventQueue::schedule`], but enumerating obligations the
-    /// pre-engine way — full scans over all nodes and all channels. Same
-    /// obligations, same keys, same execution order; only the discovery
-    /// cost differs. Kept for the old-vs-new throughput benchmarks and as a
-    /// live cross-check that the incremental indices are consistent.
+    /// pre-engine way — full scans over all nodes and all channel slots.
+    /// Same obligations, same keys, same execution order; only the
+    /// discovery cost differs. Kept for the old-vs-new throughput
+    /// benchmarks and as a live cross-check that the incremental indices
+    /// are consistent.
     pub(crate) fn schedule_rescan<A: Automaton>(
         &mut self,
         round: u64,
@@ -106,9 +131,14 @@ impl EventQueue {
                 seq += 1;
             }
         }
-        for (from, to) in net.scan_nonempty_channels() {
+        for s in 0..net.slot_count() as u32 {
+            let len = net.slot_len(s);
+            if len == 0 {
+                continue;
+            }
+            let (from, to) = net.slot_endpoints(s);
             let a = Action::Deliver(from, to);
-            for _ in 0..net.channel_len(from, to) {
+            for _ in 0..len {
                 self.buf.push((keys.key(round, &a), seq, a));
                 seq += 1;
             }
@@ -217,6 +247,35 @@ mod tests {
             let b = q.schedule_rescan(5, &mut k2, &n).to_vec();
             assert_eq!(a, b, "engines disagree under {sched:?}");
             assert_eq!(a.len(), 3 + 3, "3 ticks + 3 in-flight messages");
+        }
+    }
+
+    #[test]
+    fn schedules_agree_after_churn_recycles_slots() {
+        // Slot recycling reorders slot ids relative to (from,to); both
+        // enumeration paths must still agree event for event.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let mut n = Network::from_graph(&g, |_, nbrs| Gate {
+            neighbors: nbrs.to_vec(),
+            open: true,
+        });
+        let mut q = EventQueue::new();
+        q.refresh(&mut n);
+        n.remove_edge(1, 2);
+        n.insert_edge(0, 2); // reuses the tombstoned slots
+        n.tick_node(0);
+        n.tick_node(2);
+        q.refresh(&mut n);
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::RandomAsync { seed: 9 },
+            Scheduler::Adversarial { seed: 9 },
+        ] {
+            let mut k1 = KeySource::new(sched);
+            let mut k2 = KeySource::new(sched);
+            let a = q.schedule(2, &mut k1, &n).to_vec();
+            let b = q.schedule_rescan(2, &mut k2, &n).to_vec();
+            assert_eq!(a, b, "engines disagree under {sched:?} after churn");
         }
     }
 }

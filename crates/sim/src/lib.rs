@@ -27,17 +27,21 @@
 //!   partitions form and heal — the churn regime under which
 //!   re-convergence is measured.
 //!
-//! The run loop is an **event-driven engine** (see [`runner::Runner`]):
-//! per-round obligations are derived from two
-//! incremental indices — an enabled-tick set maintained via dirty flags on
-//! node state, and a channel occupancy index — instead of per-round
-//! `O(n + #channels)` rescans. All three daemons stay bit-for-bit
-//! deterministic per seed.
+//! The run loop is an **event-driven engine** over a **flat message
+//! fabric** (see [`runner::Runner`] and [`network`]): every directed edge
+//! owns a dense channel *slot* taken from the graph's CSR view, per-round
+//! obligations are derived from two incremental O(1)-transition indices —
+//! an enabled-tick set maintained via dirty flags on node state, and a
+//! swap-remove channel occupancy list — instead of per-round
+//! `O(n + #channels)` rescans, and the steady-state round loop performs no
+//! ordered-tree operations and no heap allocations. All three daemons stay
+//! bit-for-bit deterministic per seed.
 //!
 //! The crate is generic over the protocol: the MDST protocol lives in
 //! `ssmdst-core`, and the simulator only sees [`Automaton`] + [`Message`].
 
 pub mod automaton;
+pub(crate) mod dense;
 pub(crate) mod events;
 pub mod faults;
 pub mod metrics;

@@ -2,8 +2,13 @@
 //!
 //! These drive experiments T3 (message complexity), T4 (memory), F5
 //! (message-length claim `O(n log n)`).
-
-use std::collections::BTreeMap;
+//!
+//! `on_send`/`on_deliver` sit on the fabric's per-message hot path, so the
+//! per-kind table is a small flat vector probed by `&'static str` pointer
+//! identity first (protocols hand in interned literals, so the fast path
+//! is a handful of pointer compares), falling back to a string compare for
+//! distinct literals with equal text. No ordered map, no allocation after
+//! a kind's first appearance.
 
 /// Per-message-kind statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -22,7 +27,9 @@ pub struct KindStats {
 /// Aggregated metrics for one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
-    by_kind: BTreeMap<&'static str, KindStats>,
+    /// Per-kind stats, unordered, linear-probed (protocols have ≤ ~10
+    /// kinds; [`Metrics::kinds`] sorts on read).
+    by_kind: Vec<(&'static str, KindStats)>,
     /// Total messages sent (all kinds).
     pub total_sent: u64,
     /// Total messages delivered.
@@ -44,9 +51,26 @@ impl Metrics {
         Self::default()
     }
 
+    /// Find-or-insert the stats entry for `kind`: pointer-identity fast
+    /// path, string-equality fallback, push on first sight.
+    fn entry(&mut self, kind: &'static str) -> &mut KindStats {
+        let idx = self
+            .by_kind
+            .iter()
+            .position(|&(k, _)| std::ptr::eq(k, kind) || k == kind);
+        let idx = match idx {
+            Some(i) => i,
+            None => {
+                self.by_kind.push((kind, KindStats::default()));
+                self.by_kind.len() - 1
+            }
+        };
+        &mut self.by_kind[idx].1
+    }
+
     /// Record a send of a message with the given kind/size.
     pub fn on_send(&mut self, kind: &'static str, size_bits: usize) {
-        let e = self.by_kind.entry(kind).or_default();
+        let e = self.entry(kind);
         e.sent += 1;
         e.max_size_bits = e.max_size_bits.max(size_bits);
         e.total_size_bits += size_bits as u64;
@@ -55,7 +79,7 @@ impl Metrics {
 
     /// Record a delivery.
     pub fn on_deliver(&mut self, kind: &'static str) {
-        self.by_kind.entry(kind).or_default().delivered += 1;
+        self.entry(kind).delivered += 1;
         self.total_delivered += 1;
     }
 
@@ -67,19 +91,27 @@ impl Metrics {
 
     /// Stats for one kind, zeroed if never seen.
     pub fn kind(&self, kind: &str) -> KindStats {
-        self.by_kind.get(kind).cloned().unwrap_or_default()
+        self.by_kind
+            .iter()
+            .find(|&&(k, _)| k == kind)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default()
     }
 
-    /// All kinds seen, in lexicographic order.
+    /// All kinds seen, in lexicographic order (sorted on read — this is a
+    /// reporting path, not the hot path).
     pub fn kinds(&self) -> impl Iterator<Item = (&'static str, &KindStats)> {
-        self.by_kind.iter().map(|(k, v)| (*k, v))
+        let mut view: Vec<(&'static str, &KindStats)> =
+            self.by_kind.iter().map(|(k, v)| (*k, v)).collect();
+        view.sort_unstable_by_key(|&(k, _)| k);
+        view.into_iter()
     }
 
     /// Largest message observed across all kinds (bits).
     pub fn max_message_bits(&self) -> usize {
         self.by_kind
-            .values()
-            .map(|s| s.max_size_bits)
+            .iter()
+            .map(|(_, s)| s.max_size_bits)
             .max()
             .unwrap_or(0)
     }

@@ -54,11 +54,13 @@ pub fn quiet_window(n: usize) -> u64 {
 /// The tick set is an incremental index maintained from the network's
 /// dirty-node list (only nodes whose state changed get their
 /// [`Automaton::enabled`] predicate re-evaluated), and delivery obligations
-/// are read off the channel occupancy index — so a round costs
-/// `O(k log k)` in its own obligation count `k`, never `O(n + #channels)`
-/// rescans. [`Runner::step_round_rescan`] keeps the old full-scan
-/// discovery alive for benchmarks; both paths execute the identical
-/// schedule.
+/// are read off the flat fabric's channel occupancy index — so a round
+/// costs `O(k log k)` in its own obligation count `k`, never
+/// `O(n + #channels)` rescans. At steady state the whole loop (derive →
+/// key → sort → execute → route) reuses its buffers and touches no ordered
+/// tree: zero heap allocations per round, pinned by `tests/zero_alloc.rs`.
+/// [`Runner::step_round_rescan`] keeps the old full-scan discovery alive
+/// for benchmarks; both paths execute the identical schedule.
 ///
 /// # Example
 ///
