@@ -46,7 +46,7 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ids = [
             "t1", "t2", "t3", "t4", "t5", "f1", "f2", "f3", "f4", "f5", "a1", "a2", "a3", "d1",
-            "d2", "d3", "s1", "s2", "s3",
+            "d2", "d3", "s1", "s2", "s3", "c1",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -118,6 +118,10 @@ fn main() {
             "s3" => (
                 "S3 — fabric scale: Barabási–Albert, attachment 2",
                 ex::s3_scale_ba(&profile),
+            ),
+            "c1" => (
+                "C1 — scenario campaign: corpus grid, replayable rows",
+                ex::c1_campaign(&profile),
             ),
             other => {
                 eprintln!("unknown experiment id: {other}");

@@ -4,15 +4,25 @@
 //! invariants; the `experiments` binary prints them). The paper has no
 //! empirical section, so each experiment validates one of its *claims*;
 //! EXPERIMENTS.md records claim vs. measurement.
+//!
+//! Since the scenario engine landed, the T/F/A/D families are
+//! **scenario-driven**: every table row is produced by running a named,
+//! serializable [`Scenario`] through `ssmdst_scenario::engine`, so any row
+//! is a replayable artifact — rebuild the same scenario (family, n, seed,
+//! daemon, config, events) and the run reproduces bit-for-bit. The S
+//! family measures the message *fabric* with purpose-built automata (not
+//! the MDST protocol), so it stays on its own driver.
 
-use crate::instance::{run_churn_scenario, run_instance, run_more};
+use crate::instance::Instrument;
 use crate::table::Table;
 use ssmdst_baselines as baselines;
-use ssmdst_core::Config;
 use ssmdst_graph::generators::GraphFamily;
 use ssmdst_graph::{degree_lower_bound, exact_mdst, Graph, SolveBudget};
-use ssmdst_sim::faults::{inject, FaultPlan};
-use ssmdst_sim::{Scheduler, TopologyPlan};
+use ssmdst_scenario::engine::{self, EngineOpts};
+use ssmdst_scenario::{
+    ConfigSpec, CorruptSpec, EventAction, Scenario, ScenarioEvent, SchedSpec, TopologySpec,
+};
+use ssmdst_sim::TopologyPlan;
 
 /// Sweep sizing. `quick` keeps the full suite under ~a minute in release;
 /// `full` is the EXPERIMENTS.md configuration.
@@ -64,6 +74,33 @@ fn mean(xs: &[f64]) -> f64 {
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
+/// The scenario behind one plain-convergence table row: family instance,
+/// daemon, full round budget, no faults. The name makes the row a
+/// replayable artifact.
+fn row_scenario(
+    id: &str,
+    fam: GraphFamily,
+    n: usize,
+    seed: u64,
+    sched: SchedSpec,
+    p: &Profile,
+) -> Scenario {
+    Scenario::converge(
+        format!("{id}-{}-n{n}-s{seed}", fam.label()),
+        TopologySpec::family(fam, n, seed),
+        sched,
+        p.max_rounds,
+    )
+}
+
+/// Engine options for experiments that do not report Δ*: skip the exact
+/// per-component solver when judging phases (the run itself is identical).
+fn no_exact() -> EngineOpts {
+    EngineOpts {
+        delta_budget: SolveBudget { max_nodes: 0 },
+    }
+}
+
 /// Ground truth for Δ*: exact when the solver budget allows, else `≥ lb`.
 fn delta_star_str(g: &Graph) -> (String, Option<u32>) {
     let res = exact_mdst(
@@ -89,16 +126,12 @@ pub fn t1_degree_quality(p: &Profile) -> Table {
         "Δ*",
         "≤Δ*+1",
     ]);
-    for fam in GraphFamily::all() {
+    for &fam in GraphFamily::all() {
         for &n in &p.small_sizes {
             for &seed in &p.seeds {
-                let g = fam.generate(n, seed);
-                let (res, _) = run_instance(
-                    &g,
-                    Config::for_n(g.n()),
-                    Scheduler::Synchronous,
-                    p.max_rounds,
-                );
+                let scn = row_scenario("t1", fam, n, seed, SchedSpec::Synchronous, p);
+                let g = scn.topology.build();
+                let (res, _) = engine::run_opts(&scn, no_exact());
                 let (ds_str, ds) = match fam.known_delta_star(&g) {
                     Some(d) => (d.to_string(), Some(d)),
                     None => delta_star_str(&g),
@@ -149,15 +182,10 @@ pub fn t2_convergence(p: &Profile) -> Table {
             let mut ms = Vec::new();
             let mut real_n = 0;
             for &seed in &p.seeds {
-                let g = fam.generate(n, seed);
-                real_n = g.n();
-                ms.push(g.m() as f64);
-                let (res, _) = run_instance(
-                    &g,
-                    Config::for_n(g.n()),
-                    Scheduler::Synchronous,
-                    p.max_rounds,
-                );
+                let scn = row_scenario("t2", fam, n, seed, SchedSpec::Synchronous, p);
+                let (res, _) = engine::run_opts(&scn, no_exact());
+                real_n = res.n;
+                ms.push(res.m as f64);
                 rounds.push(if res.converged {
                     res.conv_round as f64
                 } else {
@@ -188,13 +216,8 @@ pub fn t3_messages(p: &Profile) -> Table {
     for fam in [GraphFamily::GnpSparse, GraphFamily::ScaleFree] {
         for &n in &p.large_sizes {
             let seed = p.seeds[0];
-            let g = fam.generate(n, seed);
-            let (res, _) = run_instance(
-                &g,
-                Config::for_n(g.n()),
-                Scheduler::Synchronous,
-                p.max_rounds,
-            );
+            let scn = row_scenario("t3", fam, n, seed, SchedSpec::Synchronous, p);
+            let (res, _) = engine::run_opts(&scn, no_exact());
             let get = |k: &str| {
                 res.msgs_by_kind
                     .iter()
@@ -205,7 +228,7 @@ pub fn t3_messages(p: &Profile) -> Table {
             let dist = get("DistChain") + get("DistFlood");
             t.row(vec![
                 fam.label().to_string(),
-                g.n().to_string(),
+                res.n.to_string(),
                 res.total_msgs.to_string(),
                 get("InfoMsg").to_string(),
                 get("Search").to_string(),
@@ -235,13 +258,9 @@ pub fn t4_memory(p: &Profile) -> Table {
     ]);
     for fam in [GraphFamily::GnpSparse, GraphFamily::GnpDense] {
         for &n in &p.large_sizes {
-            let g = fam.generate(n, p.seeds[0]);
-            let (_, runner) = run_instance(
-                &g,
-                Config::for_n(g.n()),
-                Scheduler::Synchronous,
-                p.max_rounds,
-            );
+            let scn = row_scenario("t4", fam, n, p.seeds[0], SchedSpec::Synchronous, p);
+            let g = scn.topology.build();
+            let (_, runner) = engine::run_opts(&scn, no_exact());
             let max_bits = ssmdst_core::oracle::max_state_bits(runner.network());
             let delta = g.max_degree();
             let b = (usize::BITS - (g.n().max(2) - 1).leading_zeros()) as usize;
@@ -264,21 +283,17 @@ pub fn t5_baselines(p: &Profile) -> Table {
     let mut t = Table::new(vec![
         "family", "n", "BFS", "DFS", "random", "greedy", "FR", "ssmdst", "Δ*",
     ]);
-    for fam in GraphFamily::all() {
+    for &fam in GraphFamily::all() {
         let n = *p.large_sizes.first().unwrap_or(&16);
         let seed = p.seeds[0];
-        let g = fam.generate(n, seed);
+        let scn = row_scenario("t5", fam, n, seed, SchedSpec::Synchronous, p);
+        let g = scn.topology.build();
         let bfs = baselines::bfs_spanning_tree(&g, 0).unwrap();
         let dfs = baselines::dfs_spanning_tree(&g, 0).unwrap();
         let rnd = baselines::random_spanning_tree(&g, seed).unwrap();
         let greedy = baselines::greedy_min_degree_tree(&g, seed).unwrap();
         let (fr, _) = baselines::fr_mdst(&g, bfs.clone());
-        let (res, _) = run_instance(
-            &g,
-            Config::for_n(g.n()),
-            Scheduler::Synchronous,
-            p.max_rounds,
-        );
+        let (res, _) = engine::run_opts(&scn, no_exact());
         let (ds_str, _) = match fam.known_delta_star(&g) {
             Some(d) => (d.to_string(), Some(d)),
             None => delta_star_str(&g),
@@ -303,23 +318,24 @@ pub fn t5_baselines(p: &Profile) -> Table {
 /// **F1 — Convergence trajectory**: `deg(T)` at every change, one instance.
 pub fn f1_trajectory(p: &Profile) -> Table {
     let mut t = Table::new(vec!["instance", "round", "deg(T)"]);
-    for (label, g) in [
-        (
-            "star-ring n=16",
-            ssmdst_graph::generators::structured::star_with_ring(16).unwrap(),
-        ),
+    for (label, topo) in [
+        ("star-ring n=16", TopologySpec::StarRing { n: 16 }),
         (
             "gnp-dense n=24",
-            GraphFamily::GnpDense.generate(24, p.seeds[0]),
+            TopologySpec::family(GraphFamily::GnpDense, 24, p.seeds[0]),
         ),
     ] {
-        let (res, _) = run_instance(
-            &g,
-            Config::for_n(g.n()),
-            Scheduler::Synchronous,
+        let scn = Scenario::converge(
+            format!("f1-{}", label.replace([' ', '='], "-")),
+            topo,
+            SchedSpec::Synchronous,
             p.max_rounds,
         );
-        for (round, deg) in &res.trajectory {
+        let g = scn.topology.build();
+        let mut ins = Instrument::new(&g);
+        let (_, _) =
+            engine::run_observed_opts(&scn, no_exact(), |net, round| ins.observe(net, round));
+        for (round, deg) in ins.trajectory() {
             t.row(vec![label.to_string(), round.to_string(), deg.to_string()]);
         }
     }
@@ -343,19 +359,24 @@ pub fn f2_fault_recovery(p: &Profile) -> Table {
         let mut after = 0u32;
         let mut all_ok = true;
         for &seed in &p.seeds {
-            let g = GraphFamily::GnpSparse.generate(n, seed);
-            let (first, mut runner) = run_instance(
-                &g,
-                Config::for_n(g.n()),
-                Scheduler::Synchronous,
-                p.max_rounds,
+            let mut scn = row_scenario(
+                &format!("f2-frac{}", (frac * 100.0) as u32),
+                GraphFamily::GnpSparse,
+                n,
+                seed,
+                SchedSpec::Synchronous,
+                p,
             );
-            before = before.max(first.final_degree.unwrap_or(0));
-            inject(runner.network_mut(), FaultPlan::partial(frac, seed + 100));
-            let rec = run_more(&g, &mut runner, p.max_rounds);
-            rounds.push(rec.conv_round as f64);
-            after = after.max(rec.final_degree.unwrap_or(u32::MAX));
-            all_ok &= rec.converged && rec.final_degree.is_some();
+            scn.events = vec![ScenarioEvent::stable(EventAction::Fault(CorruptSpec {
+                fraction: frac,
+                drop: 0.0,
+                seed: seed + 100,
+            }))];
+            let (res, _) = engine::run_opts(&scn, no_exact());
+            before = before.max(res.phases[0].degree);
+            rounds.push(res.phases[1].rounds as f64);
+            after = after.max(res.final_degree.unwrap_or(u32::MAX));
+            all_ok &= res.phases[1].converged && res.final_degree.is_some();
         }
         t.row(vec![
             format!("{frac:.2}"),
@@ -392,13 +413,16 @@ pub fn f3_concurrency(p: &Profile) -> Table {
     ]);
     let spokes = 5usize;
     for hubs in [2usize, 4, 6] {
-        let g = ssmdst_graph::generators::gadgets::multi_hub(hubs, spokes).unwrap();
-        let (res, _) = run_instance(
-            &g,
-            Config::for_n(g.n()),
-            Scheduler::Synchronous,
+        let scn = Scenario::converge(
+            format!("f3-multi-hub-{hubs}x{spokes}"),
+            TopologySpec::MultiHub { hubs, spokes },
+            SchedSpec::Synchronous,
             p.max_rounds,
         );
+        let g = scn.topology.build();
+        let mut ins = Instrument::new(&g);
+        let (res, _) =
+            engine::run_observed_opts(&scn, no_exact(), |net, round| ins.observe(net, round));
         let t0 = baselines::bfs_spanning_tree(&g, 0).unwrap();
         let diam = ssmdst_graph::traversal::diameter(&g).unwrap_or(1) as u64;
         // The serialized emulation pays a full refresh (≥ diameter rounds,
@@ -409,7 +433,7 @@ pub fn f3_concurrency(p: &Profile) -> Table {
             format!("multi-hub({hubs}x{spokes})"),
             g.n().to_string(),
             hubs.to_string(),
-            res.max_simultaneous_drops.to_string(),
+            ins.max_simultaneous_drops().to_string(),
             res.conv_round.to_string(),
             ser.charged_rounds.to_string(),
             format!(
@@ -427,17 +451,17 @@ pub fn f4_schedulers(p: &Profile) -> Table {
     let mut t = Table::new(vec!["scheduler", "family", "n", "rounds", "deg"]);
     let n = *p.large_sizes.first().unwrap_or(&16);
     for (label, sched) in [
-        ("synchronous", Scheduler::Synchronous),
-        ("random-async", Scheduler::RandomAsync { seed: 11 }),
-        ("adversarial", Scheduler::Adversarial { seed: 11 }),
+        ("synchronous", SchedSpec::Synchronous),
+        ("random-async", SchedSpec::RandomAsync { seed: 11 }),
+        ("adversarial", SchedSpec::Adversarial { seed: 11 }),
     ] {
         for fam in [GraphFamily::GnpSparse, GraphFamily::ScaleFree] {
-            let g = fam.generate(n, p.seeds[0]);
-            let (res, _) = run_instance(&g, Config::for_n(g.n()), sched, p.max_rounds);
+            let scn = row_scenario(&format!("f4-{label}"), fam, n, p.seeds[0], sched, p);
+            let (res, _) = engine::run_opts(&scn, no_exact());
             t.row(vec![
                 label.to_string(),
                 fam.label().to_string(),
-                g.n().to_string(),
+                res.n.to_string(),
                 res.conv_round.to_string(),
                 res.final_degree
                     .map(|d| d.to_string())
@@ -452,16 +476,18 @@ pub fn f4_schedulers(p: &Profile) -> Table {
 pub fn f5_message_length(p: &Profile) -> Table {
     let mut t = Table::new(vec!["n", "max msg bits", "n·lg n", "ratio"]);
     for &n in &p.large_sizes {
-        let g = GraphFamily::GnpSparse.generate(n, p.seeds[0]);
-        let (res, _) = run_instance(
-            &g,
-            Config::for_n(g.n()),
-            Scheduler::Synchronous,
-            p.max_rounds,
+        let scn = row_scenario(
+            "f5",
+            GraphFamily::GnpSparse,
+            n,
+            p.seeds[0],
+            SchedSpec::Synchronous,
+            p,
         );
-        let bound = g.n() as f64 * (g.n() as f64).log2();
+        let (res, _) = engine::run_opts(&scn, no_exact());
+        let bound = res.n as f64 * (res.n as f64).log2();
         t.row(vec![
-            g.n().to_string(),
+            res.n.to_string(),
             res.max_msg_bits.to_string(),
             format!("{bound:.0}"),
             format!("{:.2}", res.max_msg_bits as f64 / bound),
@@ -474,25 +500,42 @@ pub fn f5_message_length(p: &Profile) -> Table {
 pub fn a1_strict_vs_gentle(p: &Profile) -> Table {
     let mut t = Table::new(vec!["mode", "n", "convergence", "recovery (50% fault)"]);
     let n = *p.large_sizes.first().unwrap_or(&16);
-    for (label, cfg_of) in [
-        ("gentle (default)", Config::for_n as fn(usize) -> Config),
-        ("strict (paper R2)", Config::strict as fn(usize) -> Config),
+    for (label, cfg) in [
+        ("gentle (default)", ConfigSpec::Default),
+        ("strict (paper R2)", ConfigSpec::Strict),
     ] {
         let mut conv = Vec::new();
         let mut rec = Vec::new();
         for &seed in &p.seeds {
-            let g = GraphFamily::GnpSparse.generate(n, seed);
-            let (first, mut runner) =
-                run_instance(&g, cfg_of(g.n()), Scheduler::Synchronous, p.max_rounds);
-            conv.push(if first.converged {
-                first.conv_round as f64
+            let mut scn = row_scenario(
+                &format!(
+                    "a1-{}",
+                    if cfg == ConfigSpec::Strict {
+                        "strict"
+                    } else {
+                        "gentle"
+                    }
+                ),
+                GraphFamily::GnpSparse,
+                n,
+                seed,
+                SchedSpec::Synchronous,
+                p,
+            );
+            scn.config = cfg;
+            scn.events = vec![ScenarioEvent::stable(EventAction::Fault(CorruptSpec {
+                fraction: 0.5,
+                drop: 0.0,
+                seed: seed + 7,
+            }))];
+            let (res, _) = engine::run_opts(&scn, no_exact());
+            conv.push(if res.phases[0].converged {
+                res.phases[0].rounds as f64
             } else {
                 f64::NAN
             });
-            inject(runner.network_mut(), FaultPlan::partial(0.5, seed + 7));
-            let r = run_more(&g, &mut runner, p.max_rounds);
-            rec.push(if r.converged {
-                r.conv_round as f64
+            rec.push(if res.phases[1].converged {
+                res.phases[1].rounds as f64
             } else {
                 f64::NAN
             });
@@ -520,32 +563,36 @@ pub fn a2_deblock(p: &Profile) -> Table {
         "deg without",
         "Δ*",
     ]);
-    let mut cases: Vec<(String, ssmdst_graph::Graph)> = Vec::new();
+    let mut cases: Vec<(String, TopologySpec)> = Vec::new();
     for fam in [GraphFamily::GnpDense, GraphFamily::ScaleFree] {
         let n = *p.small_sizes.first().unwrap_or(&12);
         for &seed in &p.seeds {
-            cases.push((format!("{} s{}", fam.label(), seed), fam.generate(n, seed)));
+            cases.push((
+                format!("{} s{}", fam.label(), seed),
+                TopologySpec::family(fam, n, seed),
+            ));
         }
     }
     for (a, b) in [(2usize, 6usize), (3, 9)] {
         cases.push((
             format!("K_{{{a},{b}}}"),
-            ssmdst_graph::generators::structured::complete_bipartite(a, b).unwrap(),
+            TopologySpec::CompleteBipartite { a, b },
         ));
     }
-    for (label, g) in cases {
-        let (with, _) = run_instance(
-            &g,
-            Config::for_n(g.n()),
-            Scheduler::Synchronous,
-            p.max_rounds,
-        );
-        let (without, _) = run_instance(
-            &g,
-            Config::without_deblock(g.n()),
-            Scheduler::Synchronous,
-            p.max_rounds,
-        );
+    for (i, (label, topo)) in cases.into_iter().enumerate() {
+        let g = topo.build();
+        let run_cfg = |cfg: ConfigSpec, tag: &str| {
+            let mut scn = Scenario::converge(
+                format!("a2-case{i}-{tag}"),
+                topo.clone(),
+                SchedSpec::Synchronous,
+                p.max_rounds,
+            );
+            scn.config = cfg;
+            engine::run_opts(&scn, no_exact()).0
+        };
+        let with = run_cfg(ConfigSpec::Default, "deblock");
+        let without = run_cfg(ConfigSpec::NoDeblock, "no-deblock");
         let (ds_str, _) = delta_star_str(&g);
         t.row(vec![
             label,
@@ -570,23 +617,26 @@ pub fn a2_deblock(p: &Profile) -> Table {
 pub fn a3_busy_latch(p: &Profile) -> Table {
     let mut t = Table::new(vec!["mode", "family", "n", "rounds", "converged", "deg"]);
     let n = *p.large_sizes.last().unwrap_or(&24);
-    for (label, cfg_of) in [
-        ("latched (default)", Config::for_n as fn(usize) -> Config),
-        (
-            "unlatched",
-            Config::without_busy_latch as fn(usize) -> Config,
-        ),
+    for (label, cfg) in [
+        ("latched (default)", ConfigSpec::Default),
+        ("unlatched", ConfigSpec::NoBusyLatch),
     ] {
         for fam in [GraphFamily::GnpSparse, GraphFamily::GnpDense] {
-            let g = fam.generate(n, p.seeds[0]);
             // Cap tighter than the global budget: an unlatched livelock
             // otherwise dominates the suite's runtime.
             let cap = p.max_rounds.min(60_000);
-            let (res, _) = run_instance(&g, cfg_of(g.n()), Scheduler::Synchronous, cap);
+            let mut scn = Scenario::converge(
+                format!("a3-{}-{}", fam.label(), label.split(' ').next().unwrap()),
+                TopologySpec::family(fam, n, p.seeds[0]),
+                SchedSpec::Synchronous,
+                cap,
+            );
+            scn.config = cfg;
+            let (res, _) = engine::run_opts(&scn, no_exact());
             t.row(vec![
                 label.to_string(),
                 fam.label().to_string(),
-                g.n().to_string(),
+                res.n.to_string(),
                 res.conv_round.to_string(),
                 if res.converged {
                     "yes".into()
@@ -604,7 +654,9 @@ pub fn a3_busy_latch(p: &Profile) -> Table {
 
 /// Shared body of the D experiments: run `plan` on every daemon, one table
 /// row per (daemon, event), judged component-wise by `ssmdst_core::churn`.
-fn churn_table(g: &Graph, plan: &TopologyPlan, p: &Profile, label: &str) -> Table {
+/// Each (daemon, plan) pair is one named scenario — the whole row group is
+/// replayable as an artifact.
+fn churn_table(topo: &TopologySpec, plan: &TopologyPlan, p: &Profile, label: &str) -> Table {
     let mut t = Table::new(vec![
         "scheduler",
         "event",
@@ -615,22 +667,38 @@ fn churn_table(g: &Graph, plan: &TopologyPlan, p: &Profile, label: &str) -> Tabl
         "≤Δ*+1",
     ]);
     for (name, sched) in [
-        ("synchronous", Scheduler::Synchronous),
-        ("random-async", Scheduler::RandomAsync { seed: 11 }),
-        ("adversarial", Scheduler::Adversarial { seed: 11 }),
+        ("synchronous", SchedSpec::Synchronous),
+        ("random-async", SchedSpec::RandomAsync { seed: 11 }),
+        ("adversarial", SchedSpec::Adversarial { seed: 11 }),
     ] {
-        let rows = run_churn_scenario(g, plan, Config::for_n(g.n()), sched, p.max_rounds);
-        for r in rows {
+        let mut scn = Scenario::converge(
+            format!("d-{label}-{name}"),
+            topo.clone(),
+            sched,
+            p.max_rounds,
+        );
+        scn.events = plan
+            .events
+            .iter()
+            .cloned()
+            .map(|e| ScenarioEvent::stable(EventAction::Churn(e)))
+            .collect();
+        let (res, _) = engine::run(&scn);
+        for ph in &res.phases {
             t.row(vec![
                 name.to_string(),
-                format!("{label}:{}", r.event),
-                r.recovery_rounds.to_string(),
-                r.components.to_string(),
-                r.degree.to_string(),
-                r.delta_star
+                format!("{label}:{}", ph.label),
+                ph.rounds.to_string(),
+                ph.components.to_string(),
+                ph.degree.to_string(),
+                ph.delta_star
                     .map(|d| d.to_string())
                     .unwrap_or_else(|| "?".into()),
-                if r.ok { "yes".into() } else { "NO".to_string() },
+                if ph.ok {
+                    "yes".into()
+                } else {
+                    "NO".to_string()
+                },
             ]);
         }
     }
@@ -641,27 +709,69 @@ fn churn_table(g: &Graph, plan: &TopologyPlan, p: &Profile, label: &str) -> Tabl
 /// edges; after each event the tree must re-fit the changed cycle space.
 pub fn d1_edge_churn(p: &Profile) -> Table {
     let n = *p.small_sizes.first().unwrap_or(&12);
-    let g = GraphFamily::GnpSparse.generate(n, p.seeds[0]);
-    let plan = TopologyPlan::edge_churn(&g, 2, p.seeds[0]);
-    churn_table(&g, &plan, p, "edge")
+    let topo = TopologySpec::family(GraphFamily::GnpSparse, n, p.seeds[0]);
+    let plan = TopologyPlan::edge_churn(&topo.build(), 2, p.seeds[0]);
+    churn_table(&topo, &plan, p, "edge")
 }
 
 /// **D2 — Node crash/rejoin**: non-articulation nodes crash (their edges
 /// and in-flight traffic vanish) and later rejoin with stale state.
 pub fn d2_node_churn(p: &Profile) -> Table {
     let n = *p.small_sizes.first().unwrap_or(&12);
-    let g = GraphFamily::GnpSparse.generate(n, p.seeds[0]);
-    let plan = TopologyPlan::node_churn(&g, 2, p.seeds[0]);
-    churn_table(&g, &plan, p, "node")
+    let topo = TopologySpec::family(GraphFamily::GnpSparse, n, p.seeds[0]);
+    let plan = TopologyPlan::node_churn(&topo.build(), 2, p.seeds[0]);
+    churn_table(&topo, &plan, p, "node")
 }
 
 /// **D3 — Partition/heal**: the network splits into halves that must each
 /// re-stabilize to their own tree, then merge back under a single root.
 pub fn d3_partition_heal(p: &Profile) -> Table {
     let n = *p.small_sizes.first().unwrap_or(&12);
-    let g = GraphFamily::GnpSparse.generate(n, p.seeds[0]);
-    let plan = TopologyPlan::partition_heal(&g, p.seeds[0]);
-    churn_table(&g, &plan, p, "split")
+    let topo = TopologySpec::family(GraphFamily::GnpSparse, n, p.seeds[0]);
+    let plan = TopologyPlan::partition_heal(&topo.build(), p.seeds[0]);
+    churn_table(&topo, &plan, p, "split")
+}
+
+/// **C1 — Scenario campaign**: the conformance corpus fanned out over
+/// worker threads ([`ssmdst_sim::parallel::run_many`]). One row per
+/// scenario; the digest column is the replay identity — re-running the
+/// named scenario must reproduce it bit-for-bit (`ssmdst replay NAME`).
+pub fn c1_campaign(_p: &Profile) -> Table {
+    let mut t = Table::new(vec![
+        "scenario",
+        "scheduler",
+        "n",
+        "m",
+        "converged",
+        "rounds",
+        "deg",
+        "msgs",
+        "ok",
+        "digest",
+    ]);
+    let corpus = ssmdst_scenario::corpus::corpus();
+    let rows = ssmdst_scenario::run_campaign(&corpus, ssmdst_sim::parallel::default_workers());
+    for r in rows {
+        t.row(vec![
+            r.name,
+            r.scheduler.to_string(),
+            r.n.to_string(),
+            r.m.to_string(),
+            if r.converged {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
+            r.rounds.to_string(),
+            r.degree
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".into()),
+            r.total_msgs.to_string(),
+            if r.ok { "yes".into() } else { "NO".to_string() },
+            format!("{:016x}", r.digest),
+        ]);
+    }
+    t
 }
 
 // ----------------------------------------------------------------------
@@ -991,6 +1101,28 @@ mod tests {
                 assert_eq!(slots, 2 * m, "slots must be 2m:\n{s}");
             }
         }
+    }
+
+    #[test]
+    fn c1_campaign_rows_are_replayable() {
+        let t = c1_campaign(&tiny());
+        let corpus = ssmdst_scenario::corpus::corpus();
+        assert_eq!(t.len(), corpus.len(), "one row per corpus scenario");
+        let s = t.render();
+        assert!(!s.contains("NO"), "corpus failure:\n{s}");
+        // Spot-check replayability: the first row's digest must match a
+        // fresh run of the named scenario.
+        let first = s.lines().nth(2).unwrap();
+        let cells: Vec<&str> = first.split_whitespace().collect();
+        let name = cells[0];
+        let digest = cells.last().unwrap();
+        let scn = ssmdst_scenario::corpus::by_name(name).expect("row names a corpus entry");
+        let (out, _) = engine::run(&scn);
+        assert_eq!(
+            format!("{:016x}", out.digest),
+            *digest,
+            "row not replayable"
+        );
     }
 
     #[test]

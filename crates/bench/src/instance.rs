@@ -3,7 +3,7 @@
 
 use ssmdst_core::{build_network, oracle, Config, MdstNode};
 use ssmdst_graph::Graph;
-use ssmdst_sim::{Runner, Scheduler};
+use ssmdst_sim::{Network, Runner, Scheduler};
 
 /// Everything measured from one protocol run.
 #[derive(Debug, Clone)]
@@ -42,6 +42,71 @@ pub fn quiet_window(n: usize) -> u64 {
     ssmdst_sim::quiet_window(n)
 }
 
+/// Per-round trajectory + concurrency bookkeeping, shared between the
+/// arbitrary-graph driver below and the scenario-driven experiments (which
+/// plug [`Instrument::observe`] into the scenario engine's observer hook).
+#[derive(Debug)]
+pub struct Instrument<'g> {
+    g: &'g Graph,
+    trajectory: Vec<(u64, u32)>,
+    last_deg: Option<u32>,
+    prev_degrees: Option<Vec<u32>>,
+    max_simdrops: usize,
+}
+
+impl<'g> Instrument<'g> {
+    /// Fresh bookkeeping for a run over `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        Instrument {
+            g,
+            trajectory: Vec::new(),
+            last_deg: None,
+            prev_degrees: None,
+            max_simdrops: 0,
+        }
+    }
+
+    /// Observe one completed round.
+    pub fn observe(&mut self, net: &Network<MdstNode>, round: u64) {
+        let tree = oracle::try_extract_tree(self.g, net);
+        let deg = tree.as_ref().map(|t| t.max_degree());
+        if deg != self.last_deg {
+            if let Some(d) = deg {
+                self.trajectory.push((round, d));
+            }
+            self.last_deg = deg;
+        }
+        if let Some(t) = &tree {
+            let degs = t.degrees();
+            if let Some(prev) = &self.prev_degrees {
+                let k = *prev.iter().max().unwrap_or(&0);
+                let drops = prev
+                    .iter()
+                    .zip(degs.iter())
+                    .filter(|&(&p, &c)| p == k && c < p)
+                    .count();
+                if drops > self.max_simdrops {
+                    self.max_simdrops = drops;
+                }
+            }
+            self.prev_degrees = Some(degs);
+        } else {
+            self.prev_degrees = None;
+        }
+    }
+
+    /// Degree-trajectory samples: `(round, deg(T))` at every change.
+    pub fn trajectory(&self) -> &[(u64, u32)] {
+        &self.trajectory
+    }
+
+    /// Maximum number of distinct maximum-degree nodes whose degree
+    /// dropped within a single round (the F3 concurrency measure).
+    pub fn max_simultaneous_drops(&self) -> usize {
+        self.max_simdrops
+    }
+}
+
 /// Run the protocol on `g` until quiescence (or `max_rounds`), recording
 /// trajectory and concurrency statistics. Returns the result and the final
 /// runner for ad-hoc inspection (e.g. fault-injection follow-ups).
@@ -64,40 +129,12 @@ pub fn run_more(g: &Graph, runner: &mut Runner<MdstNode>, max_rounds: u64) -> In
     let quiet = quiet_window(n);
     let start_round = runner.round();
 
-    let mut trajectory: Vec<(u64, u32)> = Vec::new();
-    let mut last_deg: Option<u32> = None;
-    let mut prev_degrees: Option<Vec<u32>> = None;
-    let mut max_simdrops = 0usize;
+    let mut ins = Instrument::new(g);
     let mut last_proj = oracle::projection(runner.network());
     let mut quiet_for = 0u64;
 
     let out = runner.run_until(max_rounds, |net, round| {
-        // Trajectory + concurrency bookkeeping.
-        let tree = oracle::try_extract_tree(g, net);
-        let deg = tree.as_ref().map(|t| t.max_degree());
-        if deg != last_deg {
-            if let Some(d) = deg {
-                trajectory.push((round, d));
-            }
-            last_deg = deg;
-        }
-        if let Some(t) = &tree {
-            let degs = t.degrees();
-            if let Some(prev) = &prev_degrees {
-                let k = *prev.iter().max().unwrap_or(&0);
-                let drops = prev
-                    .iter()
-                    .zip(degs.iter())
-                    .filter(|&(&p, &c)| p == k && c < p)
-                    .count();
-                if drops > max_simdrops {
-                    max_simdrops = drops;
-                }
-            }
-            prev_degrees = Some(degs);
-        } else {
-            prev_degrees = None;
-        }
+        ins.observe(net, round);
         // Quiescence detection on the full projection.
         let proj = oracle::projection(net);
         if proj == last_proj {
@@ -128,86 +165,9 @@ pub fn run_more(g: &Graph, runner: &mut Runner<MdstNode>, max_rounds: u64) -> In
         msgs_by_kind,
         max_msg_bits: metrics.max_message_bits(),
         peak_in_flight: metrics.peak_in_flight,
-        trajectory,
-        max_simultaneous_drops: max_simdrops,
+        trajectory: ins.trajectory().to_vec(),
+        max_simultaneous_drops: ins.max_simultaneous_drops(),
     }
-}
-
-/// One row of a dynamic-topology scenario: what happened, how long the
-/// re-convergence took, and what the re-converged forest looks like.
-#[derive(Debug, Clone)]
-pub struct ChurnOutcome {
-    /// Rendered churn event ("-edge(2,5)", "crash(3)", …), or "initial".
-    pub event: String,
-    /// Whether quiescence was reached before the round cap.
-    pub converged: bool,
-    /// Rounds from the event to the re-converged configuration (the
-    /// quiescence confirmation window is excluded, as in `conv_round`).
-    pub recovery_rounds: u64,
-    /// Number of connected components of the live topology.
-    pub components: usize,
-    /// Worst tree degree across components (0 if the check failed).
-    pub degree: u32,
-    /// Exact Δ* of the worst component when solvable (worst = the component
-    /// with the largest degree), else `None`.
-    pub delta_star: Option<u32>,
-    /// Whether every component re-stabilized to a tree within one of its
-    /// optimum.
-    pub ok: bool,
-}
-
-/// Drive one dynamic-topology scenario: converge on the initial graph,
-/// then apply each event of `plan` in turn, re-converging and re-judging
-/// the tree (component-wise, degree ≤ Δ*+1) after every event. The first
-/// returned row is the initial convergence.
-pub fn run_churn_scenario(
-    g: &Graph,
-    plan: &ssmdst_sim::TopologyPlan,
-    cfg: Config,
-    sched: Scheduler,
-    max_rounds: u64,
-) -> Vec<ChurnOutcome> {
-    use ssmdst_core::churn;
-    use ssmdst_graph::SolveBudget;
-
-    let budget = SolveBudget { max_nodes: 500_000 };
-    let quiet = quiet_window(g.n());
-    let net = ssmdst_core::build_network(g, cfg);
-    let mut runner = Runner::new(net, sched);
-    let mut rows = Vec::with_capacity(plan.events.len() + 1);
-    let mut measure = |runner: &mut Runner<MdstNode>, label: String| {
-        let out = runner.run_to_quiescence(max_rounds, quiet, oracle::projection);
-        let (components, degree, delta_star, ok) =
-            match churn::check_reconvergence(runner.network(), budget) {
-                Ok(reports) => {
-                    let worst = reports.iter().max_by_key(|r| r.degree);
-                    (
-                        reports.len(),
-                        worst.map(|r| r.degree).unwrap_or(0),
-                        worst.and_then(|r| r.delta_star),
-                        reports.iter().all(|r| r.within_one),
-                    )
-                }
-                Err(_) => (0, 0, None, false),
-            };
-        rows.push(ChurnOutcome {
-            event: label,
-            converged: out.converged(),
-            recovery_rounds: out
-                .rounds
-                .saturating_sub(if out.converged() { quiet } else { 0 }),
-            components,
-            degree,
-            delta_star,
-            ok: ok && out.converged(),
-        });
-    };
-    measure(&mut runner, "initial".to_string());
-    for ev in &plan.events {
-        ssmdst_sim::faults::apply_churn(runner.network_mut(), ev);
-        measure(&mut runner, ev.to_string());
-    }
-    rows
 }
 
 #[cfg(test)]
@@ -237,20 +197,6 @@ mod tests {
         assert!(res.converged);
         // A path stabilizes in O(n) rounds; the window must not be charged.
         assert!(res.conv_round < 100, "conv_round = {}", res.conv_round);
-    }
-
-    #[test]
-    fn churn_scenario_reports_one_row_per_event() {
-        let g = structured::cycle(8).unwrap();
-        let plan = ssmdst_sim::TopologyPlan::edge_churn(&g, 1, 3);
-        let rows = run_churn_scenario(&g, &plan, Config::for_n(8), Scheduler::Synchronous, 40_000);
-        assert_eq!(rows.len(), 3, "initial + remove + insert");
-        assert_eq!(rows[0].event, "initial");
-        assert!(rows.iter().all(|r| r.ok), "rows: {rows:?}");
-        // Removing a cycle edge leaves a path: a single component whose
-        // tree is forced (degree 2, Δ* 2).
-        assert_eq!(rows[1].components, 1);
-        assert_eq!(rows[1].degree, 2);
     }
 
     #[test]

@@ -22,11 +22,18 @@
 //! | D1 | re-convergence under edge churn (dynamic topology) |
 //! | D2 | re-convergence under node crash/rejoin |
 //! | D3 | re-convergence across partition and heal |
+//! | C1 | scenario campaign: the conformance corpus, one replayable row each |
 //!
 //! The D family exercises the regime the event-driven engine was built
 //! for: the topology changes between rounds ([`ssmdst_sim::TopologyPlan`])
 //! and the protocol must re-fit the tree to the new constraint set, judged
 //! component-wise by [`ssmdst_core::churn`].
+//!
+//! The T/F/A/D/C families are **scenario-driven**: each row runs a named
+//! `ssmdst_scenario::Scenario` through the scenario engine, making every
+//! row a replayable artifact (`ssmdst replay` reproduces it bit-for-bit
+//! from the scenario description). The S family measures the message
+//! fabric with purpose-built automata and keeps its own driver.
 //!
 //! Run `cargo run --release -p ssmdst-bench --bin experiments -- all` to
 //! print everything; Criterion micro-benchmarks live in `benches/`.
@@ -36,5 +43,5 @@ pub mod instance;
 pub mod table;
 
 pub use experiments::Profile;
-pub use instance::{run_churn_scenario, run_instance, run_more, ChurnOutcome, InstanceResult};
+pub use instance::{run_instance, run_more, InstanceResult, Instrument};
 pub use table::{json_string, Table};

@@ -1,0 +1,218 @@
+//! The curated scenario corpus: the regression surface the conformance
+//! tests and the CI smoke job sweep.
+//!
+//! Every entry is small enough to run in a debug-build test yet covers one
+//! distinct region of the scenario space — a topology family, a daemon, an
+//! arbitrary-configuration start, a churn shape, or a mid-flight fault.
+//! Corpus names are stable identifiers: `ssmdst replay` accepts a corpus
+//! name anywhere it accepts a `.scn` path.
+
+use crate::spec::{
+    CorruptSpec, EventAction, Scenario, ScenarioEvent, SchedSpec, Timing, TopologySpec,
+};
+use ssmdst_graph::generators::GraphFamily;
+use ssmdst_sim::{ChurnEvent, TopologyPlan};
+
+/// Default per-phase round cap for corpus entries.
+const MAX_ROUNDS: u64 = 60_000;
+
+/// The full corpus, in stable order with unique stable names.
+pub fn corpus() -> Vec<Scenario> {
+    // Plain convergence (one per daemon) + structured instances with
+    // known optima.
+    let mut scns = vec![
+        Scenario::converge(
+            "converge-gnp-sync",
+            TopologySpec::family(GraphFamily::GnpSparse, 10, 1),
+            SchedSpec::Synchronous,
+            MAX_ROUNDS,
+        ),
+        Scenario::converge(
+            "converge-gnp-async",
+            TopologySpec::family(GraphFamily::GnpSparse, 10, 1),
+            SchedSpec::RandomAsync { seed: 7 },
+            MAX_ROUNDS,
+        ),
+        Scenario::converge(
+            "converge-scalefree-adversarial",
+            TopologySpec::family(GraphFamily::ScaleFree, 10, 2),
+            SchedSpec::Adversarial { seed: 11 },
+            MAX_ROUNDS,
+        ),
+        Scenario::converge(
+            "converge-ham-chords",
+            TopologySpec::family(GraphFamily::HamiltonianChords, 12, 3),
+            SchedSpec::Synchronous,
+            MAX_ROUNDS,
+        ),
+        Scenario::converge(
+            "converge-spider",
+            TopologySpec::family(GraphFamily::Spider, 12, 1),
+            SchedSpec::RandomAsync { seed: 5 },
+            MAX_ROUNDS,
+        ),
+        Scenario::converge(
+            "converge-grid",
+            TopologySpec::family(GraphFamily::Grid, 9, 1),
+            SchedSpec::Synchronous,
+            MAX_ROUNDS,
+        ),
+    ];
+
+    // --- Arbitrary-configuration starts (the paper's Definition 1). ---
+    let mut total_reset = Scenario::converge(
+        "corrupt-start-total",
+        TopologySpec::family(GraphFamily::GnpSparse, 10, 1),
+        SchedSpec::Synchronous,
+        MAX_ROUNDS,
+    );
+    total_reset.init_corrupt = Some(CorruptSpec {
+        fraction: 1.0,
+        drop: 1.0,
+        seed: 5,
+    });
+    scns.push(total_reset);
+
+    let mut partial_garbage = Scenario::converge(
+        "corrupt-start-partial-adversarial",
+        TopologySpec::family(GraphFamily::GnpDense, 10, 2),
+        SchedSpec::Adversarial { seed: 3 },
+        MAX_ROUNDS,
+    );
+    partial_garbage.init_corrupt = Some(CorruptSpec {
+        fraction: 0.5,
+        drop: 0.0,
+        seed: 8,
+    });
+    scns.push(partial_garbage);
+
+    // --- Stabilize, corrupt, re-stabilize (experiment F2's regime). ---
+    let mut recover = Scenario::converge(
+        "fault-after-stable",
+        TopologySpec::StarRing { n: 8 },
+        SchedSpec::Synchronous,
+        MAX_ROUNDS,
+    );
+    recover.events = vec![ScenarioEvent::stable(EventAction::Fault(CorruptSpec {
+        fraction: 0.5,
+        drop: 0.5,
+        seed: 9,
+    }))];
+    scns.push(recover);
+
+    // --- A mid-flight fault: corruption lands before first convergence. ---
+    let mut midflight = Scenario::converge(
+        "fault-mid-flight",
+        TopologySpec::family(GraphFamily::GnpSparse, 10, 4),
+        SchedSpec::RandomAsync { seed: 13 },
+        MAX_ROUNDS,
+    );
+    midflight.events = vec![ScenarioEvent {
+        timing: Timing::Round(5),
+        action: EventAction::Fault(CorruptSpec {
+            fraction: 0.3,
+            drop: 0.0,
+            seed: 2,
+        }),
+    }];
+    scns.push(midflight);
+
+    // --- Topology churn: edge remove/insert, crash/rejoin, partition. ---
+    let mut edge_churn = Scenario::converge(
+        "edge-churn-async",
+        TopologySpec::Cycle { n: 8 },
+        SchedSpec::RandomAsync { seed: 3 },
+        MAX_ROUNDS,
+    );
+    edge_churn.events = vec![
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::RemoveEdge(0, 1))),
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::InsertEdge(0, 1))),
+    ];
+    scns.push(edge_churn);
+
+    let mut crash_rejoin = Scenario::converge(
+        "crash-rejoin-star-ring",
+        TopologySpec::StarRing { n: 8 },
+        SchedSpec::Synchronous,
+        MAX_ROUNDS,
+    );
+    crash_rejoin.events = vec![
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::CrashNode(3))),
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::RejoinNode(3))),
+    ];
+    scns.push(crash_rejoin);
+
+    let mut split_heal = Scenario::converge(
+        "partition-heal-cycle",
+        TopologySpec::Cycle { n: 10 },
+        SchedSpec::Synchronous,
+        MAX_ROUNDS,
+    );
+    let cut = vec![(0, 1), (5, 6)];
+    split_heal.events = vec![
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::Partition(cut.clone()))),
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::Heal(cut))),
+    ];
+    scns.push(split_heal);
+
+    // --- The gauntlet: corruption at birth plus seeded mixed churn. ---
+    let topo = TopologySpec::family(GraphFamily::GnpSparse, 10, 1);
+    let g = topo.build();
+    let mut gauntlet = Scenario::converge(
+        "gauntlet-corrupt-churn",
+        topo,
+        SchedSpec::Adversarial { seed: 17 },
+        MAX_ROUNDS,
+    );
+    gauntlet.init_corrupt = Some(CorruptSpec {
+        fraction: 1.0,
+        drop: 1.0,
+        seed: 23,
+    });
+    gauntlet.events = TopologyPlan::edge_churn(&g, 1, 4)
+        .events
+        .into_iter()
+        .map(|e| ScenarioEvent::stable(EventAction::Churn(e)))
+        .collect();
+    scns.push(gauntlet);
+
+    scns
+}
+
+/// Look up a corpus entry by its stable name.
+pub fn by_name(name: &str) -> Option<Scenario> {
+    corpus().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_names_are_unique_and_stable() {
+        let scns = corpus();
+        assert!(scns.len() >= 12, "corpus should stay broad");
+        let mut names: Vec<&str> = scns.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scns.len(), "duplicate corpus names");
+        assert!(by_name("corrupt-start-total").is_some());
+        assert!(by_name("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn corpus_round_trips_through_scn_text() {
+        for scn in corpus() {
+            let text = scn.canonical();
+            let parsed = crate::scn::parse(&text)
+                .unwrap_or_else(|e| panic!("{} fails to parse: {e}", scn.name));
+            assert_eq!(parsed, scn, "{} round trip", scn.name);
+        }
+    }
+
+    #[test]
+    fn gauntlet_has_real_churn_events() {
+        let g = by_name("gauntlet-corrupt-churn").unwrap();
+        assert!(!g.events.is_empty(), "seeded churn plan must be non-empty");
+    }
+}

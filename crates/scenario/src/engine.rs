@@ -1,0 +1,573 @@
+//! The scenario executor: phases, component-wise judging, and the chained
+//! record-replay digest.
+//!
+//! A scenario's events split the run into **phases**. Phase 0 starts from
+//! the (possibly corrupted) initial configuration; each event opens the
+//! next phase. `Timing::Stable` events fire once the network reaches
+//! quiescence (judged on the canonical state projection with the canonical
+//! confirmation window), `Timing::Round(r)` events fire at absolute round
+//! `r` — mid-flight faults. Every phase is judged component-wise against
+//! the live topology (`ssmdst_core::churn`): per-component spanning tree
+//! with degree within one of the component's optimum.
+//!
+//! While running, the engine folds into one chained [`Digest`]:
+//! every scheduler priority key and executed action (via
+//! [`Runner::step_round_digest`]), the per-round state projection, and
+//! every applied event. Two runs of the same `(Scenario)` value are
+//! bit-identical iff their chains agree — that is the replay check
+//! [`verify_replay`] performs and the golden-trace CI job enforces.
+
+use crate::spec::{EventAction, Scenario, Timing};
+use ssmdst_core::{build_network, churn, oracle, MdstNode, NodeId};
+use ssmdst_graph::SolveBudget;
+use ssmdst_sim::faults::{apply_churn, inject};
+use ssmdst_sim::{quiet_window, Digest, Network, RunTrace, Runner, TraceRecord};
+
+/// Observation-side knobs. These only affect how phases are *judged* —
+/// never the execution or its digest chain, so they are engine parameters,
+/// not scenario data.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOpts {
+    /// Per-component Δ* solver budget for phase judging. `max_nodes: 0`
+    /// skips exact solving; the witness lower bound then gives a
+    /// conservative `within_one` verdict.
+    pub delta_budget: SolveBudget,
+}
+
+impl Default for EngineOpts {
+    /// Exact solving under the experiment harness's canonical budget, so
+    /// scenario-driven tables agree with the pre-scenario ones.
+    fn default() -> Self {
+        EngineOpts {
+            delta_budget: SolveBudget { max_nodes: 500_000 },
+        }
+    }
+}
+
+/// Outcome of one phase (initial convergence, or re-convergence after one
+/// event).
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// `initial`, or the label of the event that opened the phase.
+    pub label: String,
+    /// Whether the phase reached quiescence before its round cap. For
+    /// `Timing::Round` phases this is whether the target round was reached.
+    pub converged: bool,
+    /// Rounds from phase start to the converged configuration (the
+    /// quiescence confirmation window is excluded when converged).
+    pub rounds: u64,
+    /// Whether the component-wise tree check ran (stable-timed and final
+    /// phases only; mid-flight phases are not judged).
+    pub checked: bool,
+    /// Connected components of the live topology at phase end.
+    pub components: usize,
+    /// Worst component tree degree (0 when the check failed or didn't run).
+    pub degree: u32,
+    /// Exact Δ* of the worst component when the solver budget sufficed.
+    pub delta_star: Option<u32>,
+    /// Converged and every component within one of its optimum. Vacuously
+    /// equal to `converged` for unchecked (mid-flight) phases.
+    pub ok: bool,
+}
+
+/// Everything measured from one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: String,
+    /// Node count of the built instance.
+    pub n: usize,
+    /// Edge count of the built instance.
+    pub m: usize,
+    /// One outcome per phase, in order; never empty.
+    pub phases: Vec<PhaseOutcome>,
+    /// Whether the final phase converged.
+    pub converged: bool,
+    /// Rounds of the final phase (confirmation window excluded).
+    pub conv_round: u64,
+    /// Final tree degree when the run ends on a single-component spanning
+    /// tree, else `None`.
+    pub final_degree: Option<u32>,
+    /// Total messages sent across the whole run.
+    pub total_msgs: u64,
+    /// Messages by kind: (kind, sent, max size bits).
+    pub msgs_by_kind: Vec<(&'static str, u64, usize)>,
+    /// Largest message observed, in bits.
+    pub max_msg_bits: usize,
+    /// Peak number of undelivered messages.
+    pub peak_in_flight: usize,
+    /// Final chained run digest — the replay identity.
+    pub digest: u64,
+}
+
+impl ScenarioOutcome {
+    /// Whether every phase converged and passed its component check.
+    pub fn all_ok(&self) -> bool {
+        self.phases.iter().all(|p| p.ok)
+    }
+}
+
+/// Run a scenario. Returns the outcome and the final runner for ad-hoc
+/// inspection (state-size oracles, fault-injection follow-ups).
+pub fn run(scn: &Scenario) -> (ScenarioOutcome, Runner<MdstNode>) {
+    let (out, _, runner) = run_traced_observed(scn, |_, _| {});
+    (out, runner)
+}
+
+/// [`run`] with explicit [`EngineOpts`].
+pub fn run_opts(scn: &Scenario, opts: EngineOpts) -> (ScenarioOutcome, Runner<MdstNode>) {
+    let (out, _, runner) = run_traced_observed_opts(scn, opts, |_, _| {});
+    (out, runner)
+}
+
+/// Run a scenario with a per-round observer (called after every round with
+/// the network and the absolute round number) — the hook the experiment
+/// harness uses for trajectory and concurrency bookkeeping.
+pub fn run_observed(
+    scn: &Scenario,
+    obs: impl FnMut(&Network<MdstNode>, u64),
+) -> (ScenarioOutcome, Runner<MdstNode>) {
+    let (out, _, runner) = run_traced_observed(scn, obs);
+    (out, runner)
+}
+
+/// [`run_observed`] with explicit [`EngineOpts`].
+pub fn run_observed_opts(
+    scn: &Scenario,
+    opts: EngineOpts,
+    obs: impl FnMut(&Network<MdstNode>, u64),
+) -> (ScenarioOutcome, Runner<MdstNode>) {
+    let (out, _, runner) = run_traced_observed_opts(scn, opts, obs);
+    (out, runner)
+}
+
+/// Run a scenario and keep the full [`RunTrace`] for golden-file
+/// verification.
+pub fn run_traced(scn: &Scenario) -> (ScenarioOutcome, RunTrace) {
+    let (out, trace, _) = run_traced_observed(scn, |_, _| {});
+    (out, trace)
+}
+
+/// Trace + observer + final runner, under default options.
+pub fn run_traced_observed(
+    scn: &Scenario,
+    obs: impl FnMut(&Network<MdstNode>, u64),
+) -> (ScenarioOutcome, RunTrace, Runner<MdstNode>) {
+    run_traced_observed_opts(scn, EngineOpts::default(), obs)
+}
+
+/// The general form: trace + observer + final runner + options.
+pub fn run_traced_observed_opts(
+    scn: &Scenario,
+    opts: EngineOpts,
+    mut obs: impl FnMut(&Network<MdstNode>, u64),
+) -> (ScenarioOutcome, RunTrace, Runner<MdstNode>) {
+    let g = scn.topology.build();
+    let n = g.n();
+    let quiet = scn.stop.quiet.unwrap_or_else(|| quiet_window(n));
+    let mut runner = Runner::new(
+        build_network(&g, scn.config.build(n)),
+        scn.scheduler.scheduler(),
+    );
+    let mut chain = Digest::new();
+    let mut records = Vec::new();
+
+    if let Some(c) = &scn.init_corrupt {
+        let victims = inject(runner.network_mut(), c.plan());
+        chain.write_str("init-fault");
+        chain.write_u64(victims.len() as u64);
+        records.push(TraceRecord::Fault {
+            round: 0,
+            victims: victims.len(),
+        });
+    }
+
+    let mut phases: Vec<PhaseOutcome> = Vec::new();
+    let mut run_and_record = |runner: &mut Runner<MdstNode>,
+                              chain: &mut Digest,
+                              records: &mut Vec<TraceRecord>,
+                              obs: &mut dyn FnMut(&Network<MdstNode>, u64),
+                              label: String,
+                              until: Option<u64>| {
+        let phase = run_phase(
+            runner,
+            chain,
+            obs,
+            scn.stop.max_rounds,
+            quiet,
+            opts.delta_budget,
+            label,
+            until,
+        );
+        records.push(TraceRecord::Phase {
+            label: phase.label.clone(),
+            rounds: phase.rounds,
+            digest: chain.value(),
+        });
+        phases.push(phase);
+    };
+
+    let mut label = "initial".to_string();
+    for ev in &scn.events {
+        let until = match ev.timing {
+            Timing::Stable => None,
+            Timing::Round(r) => Some(r),
+        };
+        run_and_record(
+            &mut runner,
+            &mut chain,
+            &mut records,
+            &mut obs,
+            label,
+            until,
+        );
+        label = ev.action.label();
+        let round = runner.round();
+        match &ev.action {
+            EventAction::Fault(c) => {
+                let victims = inject(runner.network_mut(), c.plan());
+                chain.write_str("fault");
+                chain.write_u64(victims.len() as u64);
+                records.push(TraceRecord::Fault {
+                    round,
+                    victims: victims.len(),
+                });
+            }
+            EventAction::Churn(c) => {
+                apply_churn(runner.network_mut(), c);
+                chain.write_str("churn");
+                chain.write_str(&label);
+                records.push(TraceRecord::Topology {
+                    round,
+                    event: label.clone(),
+                });
+            }
+        }
+    }
+    run_and_record(&mut runner, &mut chain, &mut records, &mut obs, label, None);
+
+    let last = phases.last().expect("at least one phase");
+    let final_degree = if last.checked && last.components == 1 && last.degree > 0 {
+        Some(last.degree)
+    } else {
+        oracle::current_degree(&g, runner.network()).filter(|_| runner.network().alive_count() == n)
+    };
+    let metrics = &runner.network().metrics;
+    let outcome = ScenarioOutcome {
+        name: scn.name.clone(),
+        n,
+        m: g.m(),
+        converged: last.converged,
+        conv_round: last.rounds,
+        final_degree,
+        total_msgs: metrics.total_sent,
+        msgs_by_kind: metrics
+            .kinds()
+            .map(|(k, s)| (k, s.sent, s.max_size_bits))
+            .collect(),
+        max_msg_bits: metrics.max_message_bits(),
+        peak_in_flight: metrics.peak_in_flight,
+        digest: chain.value(),
+        phases,
+    };
+    let trace = RunTrace {
+        fingerprint: scn.fingerprint(),
+        records,
+        final_digest: chain.value(),
+    };
+    (outcome, trace, runner)
+}
+
+/// Drive one phase: to quiescence (`until = None`) or to the absolute
+/// round `until`, folding schedule and projection into the chain each
+/// round.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    runner: &mut Runner<MdstNode>,
+    chain: &mut Digest,
+    obs: &mut dyn FnMut(&Network<MdstNode>, u64),
+    max_rounds: u64,
+    quiet: u64,
+    delta_budget: SolveBudget,
+    label: String,
+    until: Option<u64>,
+) -> PhaseOutcome {
+    let start = runner.round();
+    let mut last = oracle::projection(runner.network());
+    let mut quiet_for = 0u64;
+    let converged = loop {
+        if let Some(target) = until {
+            if runner.round() >= target {
+                break true;
+            }
+        }
+        if runner.round() - start >= max_rounds {
+            break false;
+        }
+        runner.step_round_digest(chain);
+        obs(runner.network(), runner.round());
+        let proj = oracle::projection(runner.network());
+        fold_projection(chain, &proj);
+        if until.is_none() {
+            if proj == last {
+                quiet_for += 1;
+            } else {
+                quiet_for = 0;
+                last = proj;
+            }
+            if quiet_for >= quiet {
+                break true;
+            }
+        }
+    };
+    let rounds_used = runner.round() - start;
+    let rounds = if converged && until.is_none() {
+        rounds_used.saturating_sub(quiet)
+    } else {
+        rounds_used
+    };
+    // Judge stable-timed phases component-wise; mid-flight phases are in
+    // transit by construction and are not judged.
+    let (checked, components, degree, delta_star, ok) = if until.is_none() {
+        match churn::check_reconvergence(runner.network(), delta_budget) {
+            Ok(reports) => {
+                let worst = reports.iter().max_by_key(|r| r.degree);
+                (
+                    true,
+                    reports.len(),
+                    worst.map(|r| r.degree).unwrap_or(0),
+                    worst.and_then(|r| r.delta_star),
+                    converged && reports.iter().all(|r| r.within_one),
+                )
+            }
+            Err(_) => (true, 0, 0, None, false),
+        }
+    } else {
+        (false, 0, 0, None, converged)
+    };
+    PhaseOutcome {
+        label,
+        converged,
+        rounds,
+        checked,
+        components,
+        degree,
+        delta_star,
+        ok,
+    }
+}
+
+/// Fold the canonical state projection (parents, dmax, distances) into the
+/// chain — any state divergence in any round breaks every later digest.
+fn fold_projection(chain: &mut Digest, proj: &(Vec<NodeId>, Vec<u32>, Vec<u32>)) {
+    for &p in &proj.0 {
+        chain.write_u32(p);
+    }
+    for &d in &proj.1 {
+        chain.write_u32(d);
+    }
+    for &d in &proj.2 {
+        chain.write_u32(d);
+    }
+}
+
+/// Replay `scn` and compare against a recorded trace. `Ok(())` means the
+/// re-run reproduced the recording bit-for-bit; `Err` describes the first
+/// divergence.
+pub fn verify_replay(scn: &Scenario, recorded: &RunTrace) -> Result<(), String> {
+    let (_, replayed) = run_traced(scn);
+    match recorded.first_divergence(&replayed) {
+        None => Ok(()),
+        Some(d) => Err(format!("replay of '{}' diverged: {d}", scn.name)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ConfigSpec, CorruptSpec, ScenarioEvent, SchedSpec, StopSpec, TopologySpec};
+    use ssmdst_graph::generators::GraphFamily;
+    use ssmdst_sim::ChurnEvent;
+
+    fn quick_converge(topology: TopologySpec, sched: SchedSpec) -> Scenario {
+        Scenario::converge("t", topology, sched, 40_000)
+    }
+
+    #[test]
+    fn plain_convergence_has_one_ok_phase() {
+        let scn = quick_converge(TopologySpec::StarRing { n: 8 }, SchedSpec::Synchronous);
+        let (out, _) = run(&scn);
+        assert_eq!(out.phases.len(), 1);
+        assert!(out.converged);
+        assert!(out.all_ok());
+        assert_eq!(out.phases[0].label, "initial");
+        assert_eq!(out.phases[0].components, 1);
+        assert!(out.final_degree.unwrap() <= 3);
+        assert!(out.total_msgs > 0);
+    }
+
+    #[test]
+    fn corrupt_start_still_stabilizes() {
+        let mut scn = quick_converge(
+            TopologySpec::family(GraphFamily::GnpSparse, 10, 1),
+            SchedSpec::Synchronous,
+        );
+        scn.init_corrupt = Some(CorruptSpec {
+            fraction: 1.0,
+            drop: 1.0,
+            seed: 5,
+        });
+        let (out, trace) = run_traced(&scn);
+        assert!(out.converged, "self-stabilization from garbage");
+        assert!(out.all_ok());
+        assert!(matches!(
+            trace.records.first(),
+            Some(TraceRecord::Fault { round: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn churn_events_open_phases_and_are_judged() {
+        let mut scn = quick_converge(
+            TopologySpec::Cycle { n: 8 },
+            SchedSpec::RandomAsync { seed: 3 },
+        );
+        scn.events = vec![
+            ScenarioEvent::stable(EventAction::Churn(ChurnEvent::RemoveEdge(0, 1))),
+            ScenarioEvent::stable(EventAction::Churn(ChurnEvent::InsertEdge(0, 1))),
+        ];
+        let (out, _) = run(&scn);
+        assert_eq!(out.phases.len(), 3, "initial + one per event");
+        assert!(out.all_ok(), "phases: {:?}", out.phases);
+        assert_eq!(out.phases[1].label, "-edge(0,1)");
+        // Removing a cycle edge leaves a path: tree forced, degree 2.
+        assert_eq!(out.phases[1].degree, 2);
+        assert_eq!(out.phases[2].label, "+edge(0,1)");
+    }
+
+    #[test]
+    fn mid_flight_fault_phase_is_unchecked() {
+        let mut scn = quick_converge(TopologySpec::StarRing { n: 8 }, SchedSpec::Synchronous);
+        scn.events = vec![ScenarioEvent {
+            timing: Timing::Round(3),
+            action: EventAction::Fault(CorruptSpec {
+                fraction: 0.5,
+                drop: 0.0,
+                seed: 2,
+            }),
+        }];
+        let (out, _) = run(&scn);
+        assert_eq!(out.phases.len(), 2);
+        assert!(!out.phases[0].checked, "mid-flight phase is not judged");
+        assert_eq!(out.phases[0].rounds, 3);
+        assert!(out.phases[1].checked);
+        assert!(out.phases[1].ok, "recovers from the mid-flight fault");
+    }
+
+    /// An absolute-round target that earlier phases already ran past fires
+    /// immediately (zero-round phase), and the trace records the *actual*
+    /// application round — the documented `Timing::Round` contract.
+    #[test]
+    fn already_passed_round_target_fires_immediately() {
+        let mut scn = quick_converge(TopologySpec::StarRing { n: 8 }, SchedSpec::Synchronous);
+        scn.events = vec![
+            ScenarioEvent::stable(EventAction::Churn(ChurnEvent::RemoveEdge(1, 2))),
+            ScenarioEvent {
+                timing: Timing::Round(1), // long passed once phase 0 stabilized
+                action: EventAction::Fault(CorruptSpec {
+                    fraction: 0.5,
+                    drop: 0.0,
+                    seed: 3,
+                }),
+            },
+        ];
+        let (out, trace) = run_traced(&scn);
+        assert_eq!(out.phases[1].rounds, 0, "target already passed: 0 rounds");
+        let fault_round = trace
+            .records
+            .iter()
+            .find_map(|r| match r {
+                TraceRecord::Fault { round, .. } => Some(*round),
+                _ => None,
+            })
+            .expect("fault recorded");
+        assert!(fault_round > 1, "trace records the actual round, not 1");
+        assert!(out.phases[2].converged, "run still recovers");
+    }
+
+    #[test]
+    fn final_degree_follows_the_live_topology() {
+        // A crashed node leaves one live component: its tree degree stands.
+        let mut scn = quick_converge(TopologySpec::StarRing { n: 8 }, SchedSpec::Synchronous);
+        scn.events = vec![ScenarioEvent::stable(EventAction::Churn(
+            ChurnEvent::CrashNode(3),
+        ))];
+        let (out, _) = run(&scn);
+        assert!(out.converged);
+        assert!(
+            out.final_degree.is_some(),
+            "the 7 survivors re-form one spanning tree"
+        );
+        // An unhealed partition leaves two components: no single tree.
+        let mut scn = quick_converge(TopologySpec::Cycle { n: 10 }, SchedSpec::Synchronous);
+        scn.events = vec![ScenarioEvent::stable(EventAction::Churn(
+            ChurnEvent::Partition(vec![(0, 1), (5, 6)]),
+        ))];
+        let (out, _) = run(&scn);
+        assert!(out.converged);
+        assert_eq!(out.phases.last().unwrap().components, 2);
+        assert!(out.final_degree.is_none(), "two components, no single tree");
+    }
+
+    #[test]
+    fn replay_is_bit_exact_and_detects_tampering() {
+        let mut scn = quick_converge(
+            TopologySpec::family(GraphFamily::GnpSparse, 10, 2),
+            SchedSpec::Adversarial { seed: 11 },
+        );
+        scn.init_corrupt = Some(CorruptSpec {
+            fraction: 0.5,
+            drop: 0.0,
+            seed: 4,
+        });
+        let (_, recorded) = run_traced(&scn);
+        verify_replay(&scn, &recorded).expect("same scenario replays bit-for-bit");
+        // A different daemon seed is a different execution.
+        let mut other = scn.clone();
+        other.scheduler = SchedSpec::Adversarial { seed: 12 };
+        let err = verify_replay(&other, &recorded).expect_err("must diverge");
+        assert!(err.contains("diverged"), "got: {err}");
+        // Tampering with a recorded digest is caught.
+        let mut tampered = recorded.clone();
+        tampered.final_digest ^= 1;
+        assert!(verify_replay(&scn, &tampered).is_err());
+    }
+
+    #[test]
+    fn ablated_configs_run() {
+        for cfg in [
+            ConfigSpec::Strict,
+            ConfigSpec::NoDeblock,
+            ConfigSpec::NoBusyLatch,
+        ] {
+            let mut scn = quick_converge(TopologySpec::StarRing { n: 8 }, SchedSpec::Synchronous);
+            scn.config = cfg;
+            let (out, _) = run(&scn);
+            assert!(out.converged, "{cfg:?} failed to converge on star-ring");
+        }
+    }
+
+    #[test]
+    fn stop_spec_round_cap_is_respected() {
+        let scn = Scenario {
+            stop: StopSpec {
+                max_rounds: 5,
+                quiet: Some(1_000),
+            },
+            ..quick_converge(TopologySpec::StarRing { n: 8 }, SchedSpec::Synchronous)
+        };
+        let (out, _) = run(&scn);
+        assert!(!out.converged, "cannot confirm quiescence in 5 rounds");
+        assert_eq!(out.conv_round, 5);
+    }
+}

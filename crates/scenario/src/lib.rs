@@ -1,0 +1,51 @@
+//! # ssmdst-scenario
+//!
+//! Scenarios as **data**, failures as **one-line reproducers**.
+//!
+//! BlinPR09's correctness claim is self-stabilization from *arbitrary*
+//! initial configurations under transient faults — so the interesting
+//! state space is the *scenario* space (which topology, which daemon,
+//! which corruption, which churn sequence), not any single run. This crate
+//! turns that space into first-class values:
+//!
+//! * [`Scenario`] ([`spec`]) — a declarative, serializable description of
+//!   one complete run: topology generator + parameters, daemon choice,
+//!   protocol-config variant, optional corruption of the initial node
+//!   state (the paper's arbitrary-configuration start), a timed plan of
+//!   fault bursts and topology churn, and a stopping condition. Scenarios
+//!   render to and parse from a small line-based `.scn` text format
+//!   ([`scn`]), so a failing run is a committable artifact.
+//! * [`engine`] — the phase-driven executor: it runs the scenario on the
+//!   `ssmdst-core` protocol, re-converging between events, judging each
+//!   phase component-wise (degree within one of the optimum) and folding
+//!   every scheduler key, executed action, topology event and per-round
+//!   state projection into a chained [`ssmdst_sim::Digest`]. Re-running
+//!   from `(Scenario, seed)` reproduces the trace **bit-for-bit**; the
+//!   rendered [`ssmdst_sim::RunTrace`] is the golden-file format CI
+//!   verifies.
+//! * [`shrink`] — a delta-debugging minimizer lifted to whole simulations:
+//!   given a failing scenario and a failure predicate it searches for a
+//!   strictly smaller scenario (fewer fault/churn events, smaller `n`,
+//!   no initial corruption, shorter horizon) that still fails, emitting a
+//!   commit-ready `.scn` reproducer.
+//! * [`campaign`] — fans a scenario grid out over
+//!   [`ssmdst_sim::parallel::run_many`] and aggregates convergence /
+//!   degree / round / digest metrics into table rows, so every row of an
+//!   experiment table is a replayable artifact.
+//! * [`corpus`] — the curated scenario corpus exercised by the
+//!   conformance tests and the CI smoke job.
+
+pub mod campaign;
+pub mod corpus;
+pub mod engine;
+pub mod scn;
+pub mod shrink;
+pub mod spec;
+
+pub use campaign::{run_campaign, CampaignRow};
+pub use engine::{EngineOpts, PhaseOutcome, ScenarioOutcome};
+pub use shrink::{Predicate, ShrinkStats};
+pub use spec::{
+    ConfigSpec, CorruptSpec, EventAction, Scenario, ScenarioEvent, SchedSpec, StopSpec, Timing,
+    TopologySpec,
+};

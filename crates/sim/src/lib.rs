@@ -57,7 +57,7 @@ pub use metrics::{KindStats, Metrics};
 pub use network::Network;
 pub use runner::{quiet_window, RunOutcome, Runner, StopReason};
 pub use scheduler::Scheduler;
-pub use trace::{ChangeSeries, StabilityWindow};
+pub use trace::{ChangeSeries, Digest, RunTrace, StabilityWindow, TraceRecord};
 
 /// Node identifier; dense indices `0..n` matching `ssmdst_graph::NodeId`.
 pub type NodeId = u32;

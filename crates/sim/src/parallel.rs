@@ -18,7 +18,21 @@ use parking_lot::Mutex;
 /// collection — so workers publishing results do not serialize on one
 /// global lock while others are mid-`job`.
 ///
-/// Falls back to sequential execution when `workers <= 1`.
+/// Falls back to sequential execution when `workers <= 1` (`workers = 0`
+/// is treated as 1, not as "no workers": the sweep always runs).
+///
+/// # Panics
+///
+/// A panicking `job` aborts the sweep and the panic propagates to the
+/// caller; no partial result vector is ever returned. The payload differs
+/// by path, and tests pin both behaviors:
+///
+/// * sequential path (`workers <= 1` or a single input): the job's own
+///   panic payload propagates unchanged;
+/// * parallel path: workers already mid-job finish their current item,
+///   then the scope re-raises — since the scoped-thread shim is built on
+///   [`std::thread::scope`], the payload is the standard library's
+///   `"a scoped thread panicked"`, not the job's own.
 pub fn run_many<I, O, F>(inputs: Vec<I>, workers: usize, job: F) -> Vec<O>
 where
     I: Send + Sync,
@@ -94,6 +108,64 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    /// `workers = 0` means "run anyway, sequentially" — not "no workers".
+    #[test]
+    fn zero_workers_still_runs_everything() {
+        let inputs: Vec<u32> = (0..10).collect();
+        let out = run_many(inputs.clone(), 0, |&x| x * 3);
+        assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    /// Empty input is a no-op on every worker count, including zero.
+    #[test]
+    fn empty_input_is_empty_output_for_any_worker_count() {
+        for workers in [0usize, 1, 4, 64] {
+            let out: Vec<u64> = run_many(Vec::<u64>::new(), workers, |&x| x);
+            assert!(out.is_empty(), "workers = {workers}");
+        }
+    }
+
+    /// Sequential path: a panicking job propagates its own payload to the
+    /// caller unchanged — no partial results, no swallowed panic.
+    #[test]
+    fn panicking_job_propagates_sequentially_with_original_payload() {
+        let err = std::panic::catch_unwind(|| {
+            run_many(vec![1u32, 2, 3], 1, |&x| {
+                if x == 2 {
+                    panic!("job exploded on 2");
+                }
+                x
+            })
+        })
+        .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload is the job's own &str");
+        assert_eq!(msg, "job exploded on 2");
+    }
+
+    /// Parallel path: the panic still aborts the sweep and reaches the
+    /// caller (via the std scoped-thread re-raise), never a partial output.
+    #[test]
+    fn panicking_job_propagates_from_worker_threads() {
+        let err = std::panic::catch_unwind(|| {
+            run_many((0..32u32).collect(), 4, |&x| {
+                if x == 17 {
+                    panic!("worker job exploded");
+                }
+                x
+            })
+        })
+        .expect_err("panic must propagate from the scope");
+        // std::thread::scope re-raises with its own payload; don't pin the
+        // exact string beyond it being a str-ish panic (stable behavior).
+        assert!(
+            err.downcast_ref::<&str>().is_some() || err.downcast_ref::<String>().is_some(),
+            "payload should be a panic message"
+        );
     }
 
     #[test]

@@ -145,6 +145,35 @@ impl<A: Automaton> Runner<A> {
         self.net.metrics.rounds = self.round;
     }
 
+    /// Execute one full round, folding the complete schedule — every
+    /// daemon priority key, enumeration index and action, in execution
+    /// order — into `digest`. Byte-for-byte the same execution as
+    /// [`Runner::step_round`]; the digest chain is the record-replay
+    /// witness: two runs whose chained digests agree every round executed
+    /// the identical schedule.
+    pub fn step_round_digest(&mut self, digest: &mut crate::trace::Digest) {
+        self.queue.refresh(&mut self.net);
+        let events = self.queue.schedule(self.round, &mut self.keys, &self.net);
+        for &(key, idx, act) in events {
+            digest.write_u128(key);
+            digest.write_u32(idx);
+            match act {
+                Action::Tick(v) => {
+                    digest.write_u32(0);
+                    digest.write_u32(v);
+                }
+                Action::Deliver(from, to) => {
+                    digest.write_u32(1);
+                    digest.write_u32(from);
+                    digest.write_u32(to);
+                }
+            }
+        }
+        Self::execute(&mut self.net, events);
+        self.round += 1;
+        self.net.metrics.rounds = self.round;
+    }
+
     /// Execute one full round with the pre-engine obligation discovery: a
     /// full rescan of all nodes and channels. Byte-for-byte the same
     /// execution as [`Runner::step_round`] (same obligations, same keys,
@@ -450,6 +479,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// `quiet_window` boundaries: degenerate sizes sit on the 64-round
+    /// floor; the window first grows at n = 11 (6·11 = 66 > 64).
+    #[test]
+    fn quiet_window_boundaries() {
+        assert_eq!(quiet_window(0), 64, "n = 0 floors at 64");
+        assert_eq!(quiet_window(1), 64, "n = 1 floors at 64");
+        assert_eq!(quiet_window(10), 64, "6·10 = 60 still under the floor");
+        assert_eq!(quiet_window(11), 66, "first size where the window grows");
+        assert_eq!(quiet_window(12), 72);
+    }
+
+    /// Monotonicity: a bigger network never gets a *shorter* confirmation
+    /// window. Future tuning of the formula can't silently regress
+    /// convergence detection past this fence.
+    #[test]
+    fn quiet_window_is_monotone_and_floored() {
+        let mut prev = 0;
+        for n in 0..=4096usize {
+            let w = quiet_window(n);
+            assert!(w >= 64, "window below floor at n = {n}");
+            assert!(w >= prev, "window shrank at n = {n}: {prev} -> {w}");
+            assert!(
+                w >= 6 * n as u64,
+                "window must cover the O(n)-period search wave at n = {n}"
+            );
+            prev = w;
+        }
+    }
+
+    /// The digest-folding step executes the identical schedule as
+    /// `step_round`, and the chained digest is (a) deterministic per seed
+    /// and (b) sensitive to the seed.
+    #[test]
+    fn step_round_digest_matches_plain_execution() {
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::RandomAsync { seed: 13 },
+            Scheduler::Adversarial { seed: 13 },
+        ] {
+            let run = |digested: bool| {
+                let mut d = crate::trace::Digest::new();
+                let mut r = Runner::new(min_net(9), sched);
+                for _ in 0..30 {
+                    if digested {
+                        r.step_round_digest(&mut d);
+                    } else {
+                        r.step_round();
+                    }
+                }
+                let vals: Vec<u32> = r.network().nodes().iter().map(|a| a.value).collect();
+                (vals, r.network().metrics.total_sent, d.value())
+            };
+            let (v1, s1, d1) = run(true);
+            let (v2, s2, _) = run(false);
+            assert_eq!((&v1, s1), ((&v2), s2), "digested run diverged: {sched:?}");
+            let (v3, s3, d3) = run(true);
+            assert_eq!((v1, s1, d1), (v3, s3, d3), "digest not deterministic");
+        }
+        // Different seeds produce different schedules, hence digests.
+        let digest_of = |seed| {
+            let mut d = crate::trace::Digest::new();
+            let mut r = Runner::new(min_net(9), Scheduler::RandomAsync { seed });
+            for _ in 0..30 {
+                r.step_round_digest(&mut d);
+            }
+            d.value()
+        };
+        assert_ne!(digest_of(1), digest_of(2));
     }
 
     /// Obligations survive topology churn between rounds: removing an edge

@@ -3,17 +3,28 @@
 //! ```text
 //! ssmdst --family gnp-sparse --n 48 --seed 7 --scheduler async
 //! ssmdst --family spider --n 16 --corrupt 0.5 --dot tree.dot
+//! ssmdst replay failing.scn --trace run.trace
+//! ssmdst replay corrupt-start-total --expect tests/golden/corrupt-start-total.trace
+//! ssmdst shrink failing.scn --pred quality -o minimal.scn
 //! ```
 //!
-//! Generates a workload graph, runs the protocol to quiescence, optionally
-//! injects a transient fault and measures recovery, and prints a summary
-//! (degree vs. lower bound, rounds, message counts). With `--dot PATH` the
-//! final tree is written as Graphviz DOT.
+//! The flag form generates a workload graph, runs the protocol to
+//! quiescence, optionally injects a transient fault and measures recovery,
+//! and prints a summary (degree vs. lower bound, rounds, message counts).
+//! With `--dot PATH` the final tree is written as Graphviz DOT.
+//!
+//! The `replay` subcommand runs a scenario (`.scn` file or corpus name) and
+//! prints its per-phase outcomes and chained run digest; `--expect FILE`
+//! verifies the run reproduces a recorded trace bit-for-bit, `--trace FILE`
+//! records one. The `shrink` subcommand delta-debugs a failing scenario
+//! down to a minimal reproducer under a named failure predicate.
 
 use ssmdst::core::oracle;
 use ssmdst::graph::generators::GraphFamily;
 use ssmdst::prelude::*;
+use ssmdst::scenario::{corpus, engine, scn, shrink, Predicate};
 use ssmdst::sim::faults::{inject, FaultPlan};
+use ssmdst::sim::RunTrace;
 
 #[derive(Debug)]
 struct Args {
@@ -59,7 +70,10 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: ssmdst [--family NAME] [--n N] [--seed S] \
                      [--scheduler sync|async|adversarial] [--corrupt FRAC] \
-                     [--dot PATH] [--max-rounds R]\nfamilies: {}",
+                     [--dot PATH] [--max-rounds R]\n\
+                     \x20      ssmdst replay SCENARIO.scn|CORPUS-NAME [--trace OUT] [--expect GOLDEN]\n\
+                     \x20      ssmdst shrink SCENARIO.scn|CORPUS-NAME --pred not-converged|degree-ge:K|quality [-o OUT.scn]\n\
+                     families: {}",
                     GraphFamily::all()
                         .iter()
                         .map(|f| f.label())
@@ -74,7 +88,190 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Load a scenario from a `.scn` file path or a corpus name.
+fn load_scenario(handle: &str) -> Scenario {
+    if let Some(s) = corpus::by_name(handle) {
+        return s;
+    }
+    let text = std::fs::read_to_string(handle).unwrap_or_else(|e| {
+        eprintln!("error: '{handle}' is neither a corpus scenario nor a readable file: {e}");
+        eprintln!(
+            "corpus scenarios: {}",
+            corpus::corpus()
+                .iter()
+                .map(|s| s.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    });
+    scn::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: parsing {handle}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Value of a flag; a flag with no following value is a hard error (never
+/// silently skip the work the flag asked for).
+fn flag_value(flag: &str, it: &mut std::slice::Iter<String>) -> String {
+    match it.next() {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `ssmdst replay SCENARIO [--trace OUT] [--expect GOLDEN]`
+fn cmd_replay(args: &[String]) -> ! {
+    let mut handle = None;
+    let mut trace_out = None;
+    let mut expect = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace" => trace_out = Some(flag_value("--trace", &mut it)),
+            "--expect" => expect = Some(flag_value("--expect", &mut it)),
+            other if !other.starts_with("--") && handle.is_none() => {
+                handle = Some(other.to_string())
+            }
+            other => {
+                eprintln!("error: unexpected replay argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(handle) = handle else {
+        eprintln!("usage: ssmdst replay SCENARIO.scn|CORPUS-NAME [--trace OUT] [--expect GOLDEN]");
+        std::process::exit(2);
+    };
+    let scenario = load_scenario(&handle);
+    let (out, trace) = engine::run_traced(&scenario);
+    println!(
+        "scenario: {} (n={} m={} fingerprint={:016x})",
+        scenario.name,
+        out.n,
+        out.m,
+        scenario.fingerprint()
+    );
+    for ph in &out.phases {
+        let verdict = if !ph.checked {
+            "unjudged".to_string()
+        } else if ph.ok {
+            format!("ok (deg={} components={})", ph.degree, ph.components)
+        } else {
+            format!("FAILED (deg={} components={})", ph.degree, ph.components)
+        };
+        println!(
+            "phase {:<24} rounds={:<8} {}{verdict}",
+            ph.label,
+            ph.rounds,
+            if ph.converged { "" } else { "NOT CONVERGED " },
+        );
+    }
+    println!("digest: {:016x}", out.digest);
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace.render()).unwrap_or_else(|e| {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = expect {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        });
+        let golden = RunTrace::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: parsing {path}: {e}");
+            std::process::exit(2);
+        });
+        match golden.first_divergence(&trace) {
+            None => println!("replay matches {path} bit-for-bit"),
+            Some(d) => {
+                eprintln!("replay DIVERGED from {path}: {d}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::process::exit(if out.all_ok() { 0 } else { 1 });
+}
+
+/// `ssmdst shrink SCENARIO --pred PRED [-o OUT.scn]`
+fn cmd_shrink(args: &[String]) -> ! {
+    let mut handle = None;
+    let mut pred = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pred" => pred = Some(flag_value("--pred", &mut it)),
+            "-o" | "--out" => out_path = Some(flag_value(a, &mut it)),
+            other if !other.starts_with('-') && handle.is_none() => {
+                handle = Some(other.to_string())
+            }
+            other => {
+                eprintln!("error: unexpected shrink argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(handle), Some(pred)) = (handle, pred) else {
+        eprintln!(
+            "usage: ssmdst shrink SCENARIO.scn|CORPUS-NAME --pred not-converged|degree-ge:K|quality [-o OUT.scn]"
+        );
+        std::process::exit(2);
+    };
+    let predicate = Predicate::parse(&pred).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let scenario = load_scenario(&handle);
+    eprintln!(
+        "shrinking '{}' (size {}) under predicate {} …",
+        scenario.name,
+        scenario.size(),
+        predicate.label()
+    );
+    match shrink::shrink(&scenario, |s| predicate.test(s)) {
+        None => {
+            eprintln!(
+                "scenario does not fail predicate {} — nothing to shrink",
+                predicate.label()
+            );
+            std::process::exit(1);
+        }
+        Some((minimal, stats)) => {
+            eprintln!(
+                "minimized: size {} -> {} ({} candidates tried, {} accepted)",
+                scenario.size(),
+                minimal.size(),
+                stats.attempts,
+                stats.accepted
+            );
+            let text = minimal.canonical();
+            if let Some(path) = out_path {
+                std::fs::write(&path, &text).unwrap_or_else(|e| {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!("wrote {path}");
+            }
+            print!("{text}");
+            std::process::exit(0);
+        }
+    }
+}
+
 fn main() {
+    // Subcommand dispatch; the flag form below is the legacy single-run CLI.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match raw.first().map(String::as_str) {
+        Some("replay") => cmd_replay(&raw[1..]),
+        Some("shrink") => cmd_shrink(&raw[1..]),
+        _ => {}
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

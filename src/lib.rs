@@ -11,7 +11,10 @@
 //!   ([`ssmdst_sim`]);
 //! * [`core`] — the protocol itself ([`ssmdst_core`]);
 //! * [`baselines`] — Fürer–Raghavachari, serialized-improvement and naive
-//!   tree baselines ([`ssmdst_baselines`]).
+//!   tree baselines ([`ssmdst_baselines`]);
+//! * [`scenario`] — declarative scenarios, bit-exact record-replay,
+//!   delta-debugging shrinker and campaign sweeps ([`ssmdst_scenario`];
+//!   `ssmdst replay` / `ssmdst shrink` on the CLI).
 //!
 //! ## Paper-to-code map
 //!
@@ -67,6 +70,7 @@
 pub use ssmdst_baselines as baselines;
 pub use ssmdst_core as core;
 pub use ssmdst_graph as graph;
+pub use ssmdst_scenario as scenario;
 pub use ssmdst_sim as sim;
 
 /// Convenient glob-import surface for examples and tests.
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use ssmdst_baselines::{bfs_spanning_tree, fr_mdst, random_spanning_tree};
     pub use ssmdst_core::{build_network, oracle, Config, MdstNode};
     pub use ssmdst_graph::{Graph, GraphBuilder, SpanningTree};
+    pub use ssmdst_scenario::{Scenario, SchedSpec, TopologySpec};
     pub use ssmdst_sim::{Network, RunOutcome, Runner, Scheduler};
 }
 
