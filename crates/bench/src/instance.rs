@@ -1,9 +1,15 @@
 //! Single-instance experiment driver: run the protocol on one graph and
 //! collect everything the tables need.
+//!
+//! Since the Session/Observer redesign, [`Instrument`] is an
+//! [`Observer`]: the same bookkeeping value plugs into a
+//! [`ssmdst_sim::Session`] here, into the scenario engine's per-round
+//! hook, or into a bare [`Runner::run_observed`] — no bespoke driver
+//! loop anywhere.
 
 use ssmdst_core::{build_network, oracle, Config, MdstNode};
 use ssmdst_graph::Graph;
-use ssmdst_sim::{Network, Runner, Scheduler};
+use ssmdst_sim::{stop_when, Network, Observer, QuiescenceGate, Runner, Scheduler, Session, Stop};
 
 /// Everything measured from one protocol run.
 #[derive(Debug, Clone)]
@@ -43,8 +49,9 @@ pub fn quiet_window(n: usize) -> u64 {
 }
 
 /// Per-round trajectory + concurrency bookkeeping, shared between the
-/// arbitrary-graph driver below and the scenario-driven experiments (which
-/// plug [`Instrument::observe`] into the scenario engine's observer hook).
+/// arbitrary-graph driver below and the scenario-driven experiments. Use
+/// it either as an [`Observer`] attached to a session/runner, or through
+/// the scenario engine's per-round hook via [`Instrument::observe`].
 #[derive(Debug)]
 pub struct Instrument<'g> {
     g: &'g Graph,
@@ -107,55 +114,74 @@ impl<'g> Instrument<'g> {
     }
 }
 
+/// [`Instrument`] as an observer: record after every round, never stop
+/// the run (pair it with a stop condition).
+impl Observer<MdstNode> for Instrument<'_> {
+    fn on_round_end(&mut self, net: &Network<MdstNode>, round: u64) -> Stop {
+        self.observe(net, round);
+        Stop::Continue
+    }
+}
+
 /// Run the protocol on `g` until quiescence (or `max_rounds`), recording
-/// trajectory and concurrency statistics. Returns the result and the final
-/// runner for ad-hoc inspection (e.g. fault-injection follow-ups).
+/// trajectory and concurrency statistics through a [`Session`] with the
+/// [`Instrument`] attached as its observer. Returns the result and the
+/// final runner for ad-hoc inspection (e.g. fault-injection follow-ups).
 pub fn run_instance(
     g: &Graph,
     cfg: Config,
     sched: Scheduler,
     max_rounds: u64,
 ) -> (InstanceResult, Runner<MdstNode>) {
-    let net = build_network(g, cfg);
-    let mut runner = Runner::new(net, sched);
-    let res = run_more(g, &mut runner, max_rounds);
+    let quiet = quiet_window(g.n());
+    let mut session = Session::from_network(build_network(g, cfg))
+        .scheduler(sched)
+        .horizon(max_rounds)
+        .observe(Instrument::new(g));
+    let out = session.run_to_quiescence(quiet, oracle::projection);
+    let (runner, ins) = session.into_parts();
+    let res = collect(g, &runner, &ins, out.converged(), 0, quiet);
     (res, runner)
 }
 
 /// Continue running an existing network until quiescence — used after
-/// fault injection to measure recovery in isolation.
+/// fault injection to measure recovery in isolation. Same observer stack
+/// as [`run_instance`] ([`Instrument`] plus the shared
+/// [`QuiescenceGate`]), borrowed onto the caller's runner.
 pub fn run_more(g: &Graph, runner: &mut Runner<MdstNode>, max_rounds: u64) -> InstanceResult {
-    let n = g.n();
-    let quiet = quiet_window(n);
+    let quiet = quiet_window(g.n());
     let start_round = runner.round();
-
     let mut ins = Instrument::new(g);
-    let mut last_proj = oracle::projection(runner.network());
-    let mut quiet_for = 0u64;
+    let mut gate = QuiescenceGate::primed(quiet, oracle::projection(runner.network()));
+    let out = runner.run_observed(
+        max_rounds,
+        &mut (
+            &mut ins,
+            stop_when(move |net: &Network<MdstNode>, _| gate.observe(oracle::projection(net))),
+        ),
+    );
+    collect(g, runner, &ins, out.converged(), start_round, quiet)
+}
 
-    let out = runner.run_until(max_rounds, |net, round| {
-        ins.observe(net, round);
-        // Quiescence detection on the full projection.
-        let proj = oracle::projection(net);
-        if proj == last_proj {
-            quiet_for += 1;
-        } else {
-            quiet_for = 0;
-            last_proj = proj;
-        }
-        quiet_for >= quiet
-    });
-
+/// Assemble the table row from a finished run.
+fn collect(
+    g: &Graph,
+    runner: &Runner<MdstNode>,
+    ins: &Instrument,
+    converged: bool,
+    start_round: u64,
+    quiet: u64,
+) -> InstanceResult {
     let metrics = &runner.network().metrics;
     let msgs_by_kind = metrics
         .kinds()
         .map(|(k, s)| (k, s.sent, s.max_size_bits))
         .collect();
     InstanceResult {
-        n,
+        n: g.n(),
         m: g.m(),
-        converged: out.converged(),
-        conv_round: (runner.round() - start_round).saturating_sub(if out.converged() {
+        converged,
+        conv_round: (runner.round() - start_round).saturating_sub(if converged {
             quiet
         } else {
             0

@@ -66,35 +66,6 @@ impl std::fmt::Display for ChurnError {
     }
 }
 
-/// Connected components of the alive subgraph, each sorted ascending,
-/// ordered by smallest member.
-fn alive_components(net: &Network<MdstNode>) -> Vec<Vec<NodeId>> {
-    let n = net.n();
-    let mut seen = vec![false; n];
-    let mut comps = Vec::new();
-    for s in net.alive_nodes() {
-        if seen[s as usize] {
-            continue;
-        }
-        let mut comp = vec![s];
-        seen[s as usize] = true;
-        let mut i = 0;
-        while i < comp.len() {
-            let v = comp[i];
-            i += 1;
-            for &w in net.neighbors(v) {
-                if !seen[w as usize] {
-                    seen[w as usize] = true;
-                    comp.push(w);
-                }
-            }
-        }
-        comp.sort_unstable();
-        comps.push(comp);
-    }
-    comps
-}
-
 /// Relabel one component to dense ids and build its induced subgraph.
 fn induced_subgraph(net: &Network<MdstNode>, comp: &[NodeId]) -> Graph {
     let mut b = GraphBuilder::new(comp.len());
@@ -121,7 +92,7 @@ pub fn check_reconvergence(
     budget: SolveBudget,
 ) -> Result<Vec<ComponentReport>, ChurnError> {
     let mut reports = Vec::new();
-    for comp in alive_components(net) {
+    for comp in net.live_components() {
         let sub = induced_subgraph(net, &comp);
         // Map parent pointers into the dense relabeling.
         let mut parents = vec![0 as NodeId; comp.len()];

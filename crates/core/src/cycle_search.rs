@@ -222,7 +222,7 @@ mod tests {
         });
         assert!(out.converged());
         let t_before = oracle::try_extract_tree(&g, runner.network()).unwrap();
-        runner.run_until(100, |_, _| false);
+        let _ = runner.run_until(100, |_, _| false);
         let t_after = oracle::try_extract_tree(&g, runner.network()).unwrap();
         // A cycle graph's tree is a Hamiltonian path: optimal, never changed.
         assert_eq!(t_before.edge_set(), t_after.edge_set());
@@ -246,7 +246,7 @@ mod tests {
         let g = structured::path(8).unwrap();
         let net = crate::build_network(&g, Config::for_n(8));
         let mut runner = Runner::new(net, Scheduler::Synchronous);
-        runner.run_until(200, |_, _| false);
+        let _ = runner.run_until(200, |_, _| false);
         assert_eq!(runner.network().metrics.kind("Search").sent, 0);
     }
 

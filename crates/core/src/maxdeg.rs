@@ -60,7 +60,7 @@ mod tests {
         let g = structured::cycle(8).unwrap();
         let net = crate::build_network(&g, Config::for_n(8));
         let mut runner = Runner::new(net, Scheduler::Synchronous);
-        runner.run_until(100, |net, _| oracle::dmax_agrees(net, 2));
+        let _ = runner.run_until(100, |net, _| oracle::dmax_agrees(net, 2));
         // Inflate.
         for v in 0..8u32 {
             let node = runner.network_mut().node_mut(v);

@@ -136,9 +136,9 @@ mod tests {
         let g = structured::cycle(6).unwrap();
         let net = crate::build_network(&g, Config::for_n(6));
         let mut runner = Runner::new(net, Scheduler::Synchronous);
-        runner.run_until(200, |net, _| is_legitimate(&g, net));
+        let _ = runner.run_until(200, |net, _| is_legitimate(&g, net));
         let p1 = projection(runner.network());
-        runner.run_until(50, |_, _| false);
+        let _ = runner.run_until(50, |_, _| false);
         let p2 = projection(runner.network());
         assert_eq!(p1, p2);
     }

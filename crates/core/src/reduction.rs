@@ -644,7 +644,7 @@ mod tests {
         let g = structured::star_with_ring(8).unwrap();
         let net = crate::build_network(&g, Config::for_n(8));
         let mut runner = Runner::new(net, Scheduler::Synchronous);
-        runner.run_until(6000, |net, _| {
+        let _ = runner.run_until(6000, |net, _| {
             oracle::try_extract_tree(&g, net)
                 .map(|t| t.max_degree() <= 3)
                 .unwrap_or(false)

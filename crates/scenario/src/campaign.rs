@@ -36,10 +36,12 @@ pub struct CampaignRow {
 
 /// Run every scenario of the grid on up to `workers` threads (input order
 /// preserved; each simulation is single-threaded and deterministic, so
-/// parallelism never perturbs a row).
+/// parallelism never perturbs a row). Protocol-generic: each scenario
+/// runs under whatever protocol it names, so one grid can mix MDST rows
+/// with flood/echo rows.
 pub fn run_campaign(scenarios: &[Scenario], workers: usize) -> Vec<CampaignRow> {
     run_many(scenarios.to_vec(), workers, |scn| {
-        let (out, _) = engine::run(scn);
+        let out = engine::run_any(scn);
         CampaignRow {
             name: out.name.clone(),
             scheduler: scn.scheduler.label(),

@@ -8,7 +8,8 @@
 //! name anywhere it accepts a `.scn` path.
 
 use crate::spec::{
-    CorruptSpec, EventAction, Scenario, ScenarioEvent, SchedSpec, Timing, TopologySpec,
+    CorruptSpec, EventAction, ProtocolSpec, Scenario, ScenarioEvent, SchedSpec, Timing,
+    TopologySpec,
 };
 use ssmdst_graph::generators::GraphFamily;
 use ssmdst_sim::{ChurnEvent, TopologyPlan};
@@ -176,6 +177,36 @@ pub fn corpus() -> Vec<Scenario> {
         .collect();
     scns.push(gauntlet);
 
+    // --- Non-MDST workloads: the flood/echo leader election through the
+    // --- same scenarios/replay/campaign machinery (protocol registry). ---
+    let mut flood = Scenario::converge(
+        "flood-echo-leader",
+        TopologySpec::family(GraphFamily::GnpSparse, 12, 3),
+        SchedSpec::RandomAsync { seed: 5 },
+        MAX_ROUNDS,
+    );
+    flood.protocol = ProtocolSpec::FloodEcho;
+    scns.push(flood);
+
+    let mut flood_gauntlet = Scenario::converge(
+        "flood-echo-reelect",
+        TopologySpec::Cycle { n: 10 },
+        SchedSpec::Adversarial { seed: 7 },
+        MAX_ROUNDS,
+    );
+    flood_gauntlet.protocol = ProtocolSpec::FloodEcho;
+    flood_gauntlet.init_corrupt = Some(CorruptSpec {
+        fraction: 1.0,
+        drop: 0.5,
+        seed: 13,
+    });
+    // Crash the elected minimum (ghost-claim flush), then bring it back.
+    flood_gauntlet.events = vec![
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::CrashNode(0))),
+        ScenarioEvent::stable(EventAction::Churn(ChurnEvent::RejoinNode(0))),
+    ];
+    scns.push(flood_gauntlet);
+
     scns
 }
 
@@ -214,5 +245,23 @@ mod tests {
     fn gauntlet_has_real_churn_events() {
         let g = by_name("gauntlet-corrupt-churn").unwrap();
         assert!(!g.events.is_empty(), "seeded churn plan must be non-empty");
+    }
+
+    /// The corpus covers more than one protocol, and the non-MDST entries
+    /// carry their registry line through the `.scn` round trip.
+    #[test]
+    fn corpus_spans_protocols() {
+        let flood: Vec<Scenario> = corpus()
+            .into_iter()
+            .filter(|s| s.protocol == ProtocolSpec::FloodEcho)
+            .collect();
+        assert!(flood.len() >= 2, "non-MDST coverage must stay");
+        for s in flood {
+            assert!(
+                s.canonical().contains("protocol = flood-echo"),
+                "{}",
+                s.name
+            );
+        }
     }
 }

@@ -1,27 +1,36 @@
 //! The scenario executor: phases, component-wise judging, and the chained
-//! record-replay digest.
+//! record-replay digest — protocol-generic, driven through a
+//! [`ssmdst_sim::Session`].
 //!
 //! A scenario's events split the run into **phases**. Phase 0 starts from
 //! the (possibly corrupted) initial configuration; each event opens the
 //! next phase. `Timing::Stable` events fire once the network reaches
-//! quiescence (judged on the canonical state projection with the canonical
-//! confirmation window), `Timing::Round(r)` events fire at absolute round
-//! `r` — mid-flight faults. Every phase is judged component-wise against
-//! the live topology (`ssmdst_core::churn`): per-component spanning tree
-//! with degree within one of the component's optimum.
+//! quiescence (judged on the protocol's canonical state projection with
+//! the canonical confirmation window), `Timing::Round(r)` events fire at
+//! absolute round `r` — mid-flight faults. Every stable phase is judged
+//! component-wise against the live topology by the scenario's
+//! [`Protocol`] (for MDST: per-component spanning tree with degree within
+//! one of the component's optimum, via `ssmdst_core::churn`).
 //!
-//! While running, the engine folds into one chained [`Digest`]:
-//! every scheduler priority key and executed action (via
-//! [`Runner::step_round_digest`]), the per-round state projection, and
-//! every applied event. Two runs of the same `(Scenario)` value are
-//! bit-identical iff their chains agree — that is the replay check
-//! [`verify_replay`] performs and the golden-trace CI job enforces.
+//! The engine is a thin orchestrator over a `Session` whose attached
+//! observer — the internal `Recorder` — does all cross-cutting work: it folds
+//! every scheduler priority key and executed action
+//! ([`ssmdst_sim::observer::fold_event`]), the per-round projection, and
+//! every applied event into one chained [`Digest`]; records the
+//! [`RunTrace`]; and carries the per-phase stop condition (the shared
+//! [`ssmdst_sim::QuiescenceGate`], or an absolute round target). Two runs
+//! of the same `(Scenario)` value are bit-identical iff their chains
+//! agree — that is the replay check [`verify_replay`] performs and the
+//! golden-trace CI job enforces.
 
-use crate::spec::{EventAction, Scenario, Timing};
-use ssmdst_core::{build_network, churn, oracle, MdstNode, NodeId};
+use crate::protocol::{Flood, Mdst, PhaseJudgment, Protocol};
+use crate::spec::{EventAction, ProtocolSpec, Scenario, Timing};
+use ssmdst_core::MdstNode;
 use ssmdst_graph::SolveBudget;
-use ssmdst_sim::faults::{apply_churn, inject};
-use ssmdst_sim::{quiet_window, Digest, Network, RunTrace, Runner, TraceRecord};
+use ssmdst_sim::observer::{fold_event, observe_rounds, Observer, Stop};
+use ssmdst_sim::{
+    quiet_window, Action, Digest, Network, QuiescenceGate, RunTrace, Runner, Session, TraceRecord,
+};
 
 /// Observation-side knobs. These only affect how phases are *judged* —
 /// never the execution or its digest chain, so they are engine parameters,
@@ -56,17 +65,18 @@ pub struct PhaseOutcome {
     /// Rounds from phase start to the converged configuration (the
     /// quiescence confirmation window is excluded when converged).
     pub rounds: u64,
-    /// Whether the component-wise tree check ran (stable-timed and final
+    /// Whether the component-wise check ran (stable-timed and final
     /// phases only; mid-flight phases are not judged).
     pub checked: bool,
     /// Connected components of the live topology at phase end.
     pub components: usize,
-    /// Worst component tree degree (0 when the check failed or didn't run).
+    /// Worst component quality measure (tree degree for MDST; 0 when the
+    /// check failed, didn't run, or the protocol has no tree notion).
     pub degree: u32,
     /// Exact Δ* of the worst component when the solver budget sufficed.
     pub delta_star: Option<u32>,
-    /// Converged and every component within one of its optimum. Vacuously
-    /// equal to `converged` for unchecked (mid-flight) phases.
+    /// Converged and every component within the protocol's quality bar.
+    /// Vacuously equal to `converged` for unchecked (mid-flight) phases.
     pub ok: bool,
 }
 
@@ -86,7 +96,7 @@ pub struct ScenarioOutcome {
     /// Rounds of the final phase (confirmation window excluded).
     pub conv_round: u64,
     /// Final tree degree when the run ends on a single-component spanning
-    /// tree, else `None`.
+    /// tree, else `None` (always `None` for tree-less protocols).
     pub final_degree: Option<u32>,
     /// Total messages sent across the whole run.
     pub total_msgs: u64,
@@ -107,8 +117,317 @@ impl ScenarioOutcome {
     }
 }
 
-/// Run a scenario. Returns the outcome and the final runner for ad-hoc
+/// The session observer carrying every cross-cutting concern of a
+/// scenario run: the chained replay digest, the trace records, and the
+/// per-phase stop condition.
+struct Recorder<P: Protocol> {
+    chain: Digest,
+    records: Vec<TraceRecord>,
+    /// Quiescence gate of the current phase (`None` in round-target mode).
+    gate: Option<QuiescenceGate<P::Proj>>,
+    /// Absolute round target of the current phase, when round-timed.
+    until: Option<u64>,
+}
+
+impl<P: Protocol> Recorder<P> {
+    fn new() -> Self {
+        Recorder {
+            chain: Digest::new(),
+            records: Vec::new(),
+            gate: None,
+            until: None,
+        }
+    }
+
+    /// Arm the stop condition for the next phase: quiescence (primed with
+    /// the phase-start projection) or an absolute round target.
+    fn begin_phase(&mut self, until: Option<u64>, window: u64, initial: P::Proj) {
+        self.until = until;
+        self.gate = match until {
+            None => Some(QuiescenceGate::primed(window, initial)),
+            Some(_) => None,
+        };
+    }
+
+    fn note_init_fault(&mut self, victims: usize) {
+        self.chain.write_str("init-fault");
+        self.chain.write_u64(victims as u64);
+        self.records.push(TraceRecord::Fault { round: 0, victims });
+    }
+
+    fn note_fault(&mut self, round: u64, victims: usize) {
+        self.chain.write_str("fault");
+        self.chain.write_u64(victims as u64);
+        self.records.push(TraceRecord::Fault { round, victims });
+    }
+
+    fn note_churn(&mut self, round: u64, label: &str) {
+        self.chain.write_str("churn");
+        self.chain.write_str(label);
+        self.records.push(TraceRecord::Topology {
+            round,
+            event: label.to_string(),
+        });
+    }
+
+    fn note_phase(&mut self, label: String, rounds: u64) {
+        self.records.push(TraceRecord::Phase {
+            label,
+            rounds,
+            digest: self.chain.value(),
+        });
+    }
+}
+
+impl<P: Protocol> Observer<P::Node> for Recorder<P> {
+    fn on_event(&mut self, key: u128, idx: u32, action: Action) {
+        fold_event(&mut self.chain, key, idx, action);
+    }
+
+    fn on_round_end(&mut self, net: &Network<P::Node>, round: u64) -> Stop {
+        // Fold the canonical state projection — any state divergence in
+        // any round breaks every later digest — then evaluate the phase's
+        // stop condition on the same projection.
+        let proj = P::project(net);
+        P::fold_projection(&proj, &mut self.chain);
+        if let Some(target) = self.until {
+            if round >= target {
+                return Stop::Done;
+            }
+        } else if let Some(gate) = &mut self.gate {
+            if gate.observe(proj) {
+                return Stop::Done;
+            }
+        }
+        Stop::Continue
+    }
+}
+
+/// Run a scenario on an explicit [`Protocol`] implementation — the
+/// generic core every public entry point goes through. Returns the
+/// outcome, the recorded trace, and the final runner for ad-hoc
 /// inspection (state-size oracles, fault-injection follow-ups).
+pub fn run_protocol<P: Protocol>(
+    proto: &P,
+    scn: &Scenario,
+    opts: EngineOpts,
+    mut obs: impl FnMut(&Network<P::Node>, u64),
+) -> (ScenarioOutcome, RunTrace, Runner<P::Node>) {
+    let g = scn.topology.build();
+    let n = g.n();
+    let quiet = scn.stop.quiet.unwrap_or_else(|| quiet_window(n));
+    // `scn.stop.max_rounds` is a **per-phase** budget (each
+    // re-convergence gets the full allowance, matching the experiment
+    // harness's per-event measurement), so it is passed explicitly to
+    // every `run_until` in `run_phase` rather than set as the session
+    // horizon.
+    let mut session = Session::from_network(proto.build(&g, &scn.config))
+        .scheduler(scn.scheduler.scheduler())
+        .observe(Recorder::<P>::new());
+
+    if let Some(c) = &scn.init_corrupt {
+        let victims = session.inject(c.plan());
+        session.observer_mut().note_init_fault(victims.len());
+    }
+
+    let mut phases: Vec<PhaseOutcome> = Vec::new();
+    let mut label = "initial".to_string();
+    for ev in &scn.events {
+        let until = match ev.timing {
+            Timing::Stable => None,
+            Timing::Round(r) => Some(r),
+        };
+        let phase = run_phase(
+            proto,
+            &mut session,
+            &mut obs,
+            scn.stop.max_rounds,
+            quiet,
+            &opts,
+            label,
+            until,
+        );
+        phases.push(phase);
+        label = ev.action.label();
+        let round = session.round();
+        match &ev.action {
+            EventAction::Fault(c) => {
+                let victims = session.inject(c.plan());
+                session.observer_mut().note_fault(round, victims.len());
+            }
+            EventAction::Churn(c) => {
+                let _ = session.churn(c);
+                session.observer_mut().note_churn(round, &label);
+            }
+        }
+    }
+    let phase = run_phase(
+        proto,
+        &mut session,
+        &mut obs,
+        scn.stop.max_rounds,
+        quiet,
+        &opts,
+        label,
+        None,
+    );
+    phases.push(phase);
+
+    let last = phases.last().expect("at least one phase");
+    let final_degree = if last.checked && last.components == 1 && last.degree > 0 {
+        Some(last.degree)
+    } else {
+        proto.final_degree(&g, session.network())
+    };
+    let metrics = &session.network().metrics;
+    let outcome = ScenarioOutcome {
+        name: scn.name.clone(),
+        n,
+        m: g.m(),
+        converged: last.converged,
+        conv_round: last.rounds,
+        final_degree,
+        total_msgs: metrics.total_sent,
+        msgs_by_kind: metrics
+            .kinds()
+            .map(|(k, s)| (k, s.sent, s.max_size_bits))
+            .collect(),
+        max_msg_bits: metrics.max_message_bits(),
+        peak_in_flight: metrics.peak_in_flight,
+        digest: session.observer().chain.value(),
+        phases,
+    };
+    let (runner, recorder) = session.into_parts();
+    let trace = RunTrace {
+        fingerprint: scn.fingerprint(),
+        records: recorder.records,
+        final_digest: recorder.chain.value(),
+    };
+    (outcome, trace, runner)
+}
+
+/// Drive one phase: to quiescence (`until = None`) or to the absolute
+/// round `until`, with the [`Recorder`] folding schedule and projection
+/// into the chain each round and deciding the stop.
+#[allow(clippy::too_many_arguments)]
+fn run_phase<P: Protocol>(
+    proto: &P,
+    session: &mut Session<P::Node, Recorder<P>>,
+    obs: &mut impl FnMut(&Network<P::Node>, u64),
+    max_rounds: u64,
+    quiet: u64,
+    opts: &EngineOpts,
+    label: String,
+    until: Option<u64>,
+) -> PhaseOutcome {
+    let start = session.round();
+    session.phase(&label);
+    let converged = if until.is_some_and(|target| start >= target) {
+        // An absolute-round target earlier phases already ran past fires
+        // immediately: a zero-round phase.
+        true
+    } else {
+        let initial = P::project(session.network());
+        session.observer_mut().begin_phase(until, quiet, initial);
+        let out = session.run_until(
+            max_rounds,
+            &mut observe_rounds(|net: &Network<P::Node>, round: u64| obs(net, round)),
+        );
+        out.converged()
+    };
+    let rounds_used = session.round() - start;
+    let rounds = if converged && until.is_none() {
+        rounds_used.saturating_sub(quiet)
+    } else {
+        rounds_used
+    };
+    // Judge stable-timed phases component-wise; mid-flight phases are in
+    // transit by construction and are not judged.
+    let (checked, judgment) = if until.is_none() {
+        (true, proto.judge(session.network(), opts))
+    } else {
+        (
+            false,
+            PhaseJudgment {
+                components: 0,
+                degree: 0,
+                delta_star: None,
+                ok: true,
+            },
+        )
+    };
+    let phase = PhaseOutcome {
+        label,
+        converged,
+        rounds,
+        checked,
+        components: judgment.components,
+        degree: judgment.degree,
+        delta_star: judgment.delta_star,
+        ok: converged && judgment.ok,
+    };
+    session
+        .observer_mut()
+        .note_phase(phase.label.clone(), phase.rounds);
+    phase
+}
+
+// ----------------------------------------------------------------------
+// Registry dispatch: protocol-generic entry points
+// ----------------------------------------------------------------------
+
+/// Run a scenario under whatever protocol it names — the entry point for
+/// campaigns, shrinking, the conformance harness and the CLI.
+pub fn run_any(scn: &Scenario) -> ScenarioOutcome {
+    run_any_opts(scn, EngineOpts::default())
+}
+
+/// [`run_any`] with explicit [`EngineOpts`].
+pub fn run_any_opts(scn: &Scenario, opts: EngineOpts) -> ScenarioOutcome {
+    run_traced_any_opts(scn, opts).0
+}
+
+/// Run a scenario under whatever protocol it names, keeping the full
+/// [`RunTrace`] for golden-file verification.
+pub fn run_traced_any(scn: &Scenario) -> (ScenarioOutcome, RunTrace) {
+    run_traced_any_opts(scn, EngineOpts::default())
+}
+
+/// [`run_traced_any`] with explicit [`EngineOpts`].
+pub fn run_traced_any_opts(scn: &Scenario, opts: EngineOpts) -> (ScenarioOutcome, RunTrace) {
+    match scn.protocol {
+        ProtocolSpec::Mdst => {
+            let (out, trace, _) = run_protocol(&Mdst, scn, opts, |_, _| {});
+            (out, trace)
+        }
+        ProtocolSpec::FloodEcho => {
+            let (out, trace, _) = run_protocol(&Flood, scn, opts, |_, _| {});
+            (out, trace)
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// MDST-typed entry points (the historical API; final-runner access)
+// ----------------------------------------------------------------------
+
+/// Panic unless the scenario targets the MDST protocol — the MDST-typed
+/// entry points hand back a `Runner<MdstNode>` and cannot dispatch.
+fn expect_mdst(scn: &Scenario) {
+    assert!(
+        scn.protocol == ProtocolSpec::Mdst,
+        "scenario '{}' targets protocol '{}'; use engine::run_any / run_traced_any",
+        scn.name,
+        scn.protocol.label()
+    );
+}
+
+/// Run an MDST scenario. Returns the outcome and the final runner for
+/// ad-hoc inspection (state-size oracles, fault-injection follow-ups).
+///
+/// # Panics
+/// Panics if the scenario names a non-MDST protocol; protocol-generic
+/// callers use [`run_any`].
 pub fn run(scn: &Scenario) -> (ScenarioOutcome, Runner<MdstNode>) {
     let (out, _, runner) = run_traced_observed(scn, |_, _| {});
     (out, runner)
@@ -120,9 +439,9 @@ pub fn run_opts(scn: &Scenario, opts: EngineOpts) -> (ScenarioOutcome, Runner<Md
     (out, runner)
 }
 
-/// Run a scenario with a per-round observer (called after every round with
-/// the network and the absolute round number) — the hook the experiment
-/// harness uses for trajectory and concurrency bookkeeping.
+/// Run an MDST scenario with a per-round observer hook (called after
+/// every round with the network and the absolute round number) — what the
+/// experiment harness uses for trajectory and concurrency bookkeeping.
 pub fn run_observed(
     scn: &Scenario,
     obs: impl FnMut(&Network<MdstNode>, u64),
@@ -141,7 +460,7 @@ pub fn run_observed_opts(
     (out, runner)
 }
 
-/// Run a scenario and keep the full [`RunTrace`] for golden-file
+/// Run an MDST scenario and keep the full [`RunTrace`] for golden-file
 /// verification.
 pub fn run_traced(scn: &Scenario) -> (ScenarioOutcome, RunTrace) {
     let (out, trace, _) = run_traced_observed(scn, |_, _| {});
@@ -156,226 +475,21 @@ pub fn run_traced_observed(
     run_traced_observed_opts(scn, EngineOpts::default(), obs)
 }
 
-/// The general form: trace + observer + final runner + options.
+/// The general MDST-typed form: trace + observer + final runner + options.
 pub fn run_traced_observed_opts(
     scn: &Scenario,
     opts: EngineOpts,
-    mut obs: impl FnMut(&Network<MdstNode>, u64),
+    obs: impl FnMut(&Network<MdstNode>, u64),
 ) -> (ScenarioOutcome, RunTrace, Runner<MdstNode>) {
-    let g = scn.topology.build();
-    let n = g.n();
-    let quiet = scn.stop.quiet.unwrap_or_else(|| quiet_window(n));
-    let mut runner = Runner::new(
-        build_network(&g, scn.config.build(n)),
-        scn.scheduler.scheduler(),
-    );
-    let mut chain = Digest::new();
-    let mut records = Vec::new();
-
-    if let Some(c) = &scn.init_corrupt {
-        let victims = inject(runner.network_mut(), c.plan());
-        chain.write_str("init-fault");
-        chain.write_u64(victims.len() as u64);
-        records.push(TraceRecord::Fault {
-            round: 0,
-            victims: victims.len(),
-        });
-    }
-
-    let mut phases: Vec<PhaseOutcome> = Vec::new();
-    let mut run_and_record = |runner: &mut Runner<MdstNode>,
-                              chain: &mut Digest,
-                              records: &mut Vec<TraceRecord>,
-                              obs: &mut dyn FnMut(&Network<MdstNode>, u64),
-                              label: String,
-                              until: Option<u64>| {
-        let phase = run_phase(
-            runner,
-            chain,
-            obs,
-            scn.stop.max_rounds,
-            quiet,
-            opts.delta_budget,
-            label,
-            until,
-        );
-        records.push(TraceRecord::Phase {
-            label: phase.label.clone(),
-            rounds: phase.rounds,
-            digest: chain.value(),
-        });
-        phases.push(phase);
-    };
-
-    let mut label = "initial".to_string();
-    for ev in &scn.events {
-        let until = match ev.timing {
-            Timing::Stable => None,
-            Timing::Round(r) => Some(r),
-        };
-        run_and_record(
-            &mut runner,
-            &mut chain,
-            &mut records,
-            &mut obs,
-            label,
-            until,
-        );
-        label = ev.action.label();
-        let round = runner.round();
-        match &ev.action {
-            EventAction::Fault(c) => {
-                let victims = inject(runner.network_mut(), c.plan());
-                chain.write_str("fault");
-                chain.write_u64(victims.len() as u64);
-                records.push(TraceRecord::Fault {
-                    round,
-                    victims: victims.len(),
-                });
-            }
-            EventAction::Churn(c) => {
-                apply_churn(runner.network_mut(), c);
-                chain.write_str("churn");
-                chain.write_str(&label);
-                records.push(TraceRecord::Topology {
-                    round,
-                    event: label.clone(),
-                });
-            }
-        }
-    }
-    run_and_record(&mut runner, &mut chain, &mut records, &mut obs, label, None);
-
-    let last = phases.last().expect("at least one phase");
-    let final_degree = if last.checked && last.components == 1 && last.degree > 0 {
-        Some(last.degree)
-    } else {
-        oracle::current_degree(&g, runner.network()).filter(|_| runner.network().alive_count() == n)
-    };
-    let metrics = &runner.network().metrics;
-    let outcome = ScenarioOutcome {
-        name: scn.name.clone(),
-        n,
-        m: g.m(),
-        converged: last.converged,
-        conv_round: last.rounds,
-        final_degree,
-        total_msgs: metrics.total_sent,
-        msgs_by_kind: metrics
-            .kinds()
-            .map(|(k, s)| (k, s.sent, s.max_size_bits))
-            .collect(),
-        max_msg_bits: metrics.max_message_bits(),
-        peak_in_flight: metrics.peak_in_flight,
-        digest: chain.value(),
-        phases,
-    };
-    let trace = RunTrace {
-        fingerprint: scn.fingerprint(),
-        records,
-        final_digest: chain.value(),
-    };
-    (outcome, trace, runner)
+    expect_mdst(scn);
+    run_protocol(&Mdst, scn, opts, obs)
 }
 
-/// Drive one phase: to quiescence (`until = None`) or to the absolute
-/// round `until`, folding schedule and projection into the chain each
-/// round.
-#[allow(clippy::too_many_arguments)]
-fn run_phase(
-    runner: &mut Runner<MdstNode>,
-    chain: &mut Digest,
-    obs: &mut dyn FnMut(&Network<MdstNode>, u64),
-    max_rounds: u64,
-    quiet: u64,
-    delta_budget: SolveBudget,
-    label: String,
-    until: Option<u64>,
-) -> PhaseOutcome {
-    let start = runner.round();
-    let mut last = oracle::projection(runner.network());
-    let mut quiet_for = 0u64;
-    let converged = loop {
-        if let Some(target) = until {
-            if runner.round() >= target {
-                break true;
-            }
-        }
-        if runner.round() - start >= max_rounds {
-            break false;
-        }
-        runner.step_round_digest(chain);
-        obs(runner.network(), runner.round());
-        let proj = oracle::projection(runner.network());
-        fold_projection(chain, &proj);
-        if until.is_none() {
-            if proj == last {
-                quiet_for += 1;
-            } else {
-                quiet_for = 0;
-                last = proj;
-            }
-            if quiet_for >= quiet {
-                break true;
-            }
-        }
-    };
-    let rounds_used = runner.round() - start;
-    let rounds = if converged && until.is_none() {
-        rounds_used.saturating_sub(quiet)
-    } else {
-        rounds_used
-    };
-    // Judge stable-timed phases component-wise; mid-flight phases are in
-    // transit by construction and are not judged.
-    let (checked, components, degree, delta_star, ok) = if until.is_none() {
-        match churn::check_reconvergence(runner.network(), delta_budget) {
-            Ok(reports) => {
-                let worst = reports.iter().max_by_key(|r| r.degree);
-                (
-                    true,
-                    reports.len(),
-                    worst.map(|r| r.degree).unwrap_or(0),
-                    worst.and_then(|r| r.delta_star),
-                    converged && reports.iter().all(|r| r.within_one),
-                )
-            }
-            Err(_) => (true, 0, 0, None, false),
-        }
-    } else {
-        (false, 0, 0, None, converged)
-    };
-    PhaseOutcome {
-        label,
-        converged,
-        rounds,
-        checked,
-        components,
-        degree,
-        delta_star,
-        ok,
-    }
-}
-
-/// Fold the canonical state projection (parents, dmax, distances) into the
-/// chain — any state divergence in any round breaks every later digest.
-fn fold_projection(chain: &mut Digest, proj: &(Vec<NodeId>, Vec<u32>, Vec<u32>)) {
-    for &p in &proj.0 {
-        chain.write_u32(p);
-    }
-    for &d in &proj.1 {
-        chain.write_u32(d);
-    }
-    for &d in &proj.2 {
-        chain.write_u32(d);
-    }
-}
-
-/// Replay `scn` and compare against a recorded trace. `Ok(())` means the
-/// re-run reproduced the recording bit-for-bit; `Err` describes the first
-/// divergence.
+/// Replay `scn` (under whatever protocol it names) and compare against a
+/// recorded trace. `Ok(())` means the re-run reproduced the recording
+/// bit-for-bit; `Err` describes the first divergence.
 pub fn verify_replay(scn: &Scenario, recorded: &RunTrace) -> Result<(), String> {
-    let (_, replayed) = run_traced(scn);
+    let (_, replayed) = run_traced_any(scn);
     match recorded.first_divergence(&replayed) {
         None => Ok(()),
         Some(d) => Err(format!("replay of '{}' diverged: {d}", scn.name)),
@@ -569,5 +683,63 @@ mod tests {
         let (out, _) = run(&scn);
         assert!(!out.converged, "cannot confirm quiescence in 5 rounds");
         assert_eq!(out.conv_round, 5);
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol-generic engine
+    // ------------------------------------------------------------------
+
+    /// A non-MDST automaton runs end to end through the same engine:
+    /// scenario → phases → judge → bit-exact replay.
+    #[test]
+    fn flood_scenario_runs_judges_and_replays() {
+        let mut scn = quick_converge(
+            TopologySpec::Cycle { n: 10 },
+            SchedSpec::RandomAsync { seed: 7 },
+        );
+        scn.protocol = ProtocolSpec::FloodEcho;
+        scn.init_corrupt = Some(CorruptSpec {
+            fraction: 1.0,
+            drop: 0.5,
+            seed: 9,
+        });
+        scn.events = vec![
+            ScenarioEvent::stable(EventAction::Churn(ChurnEvent::CrashNode(0))),
+            ScenarioEvent::stable(EventAction::Churn(ChurnEvent::RejoinNode(0))),
+        ];
+        let (out, trace) = run_traced_any(&scn);
+        assert_eq!(out.phases.len(), 3);
+        assert!(out.all_ok(), "phases: {:?}", out.phases);
+        assert!(out.final_degree.is_none(), "flood has no tree notion");
+        assert!(out.total_msgs > 0);
+        verify_replay(&scn, &trace).expect("flood replay is bit-exact");
+        // The scenario round-trips through .scn with its protocol line.
+        let reparsed = crate::scn::parse(&scn.canonical()).unwrap();
+        assert_eq!(reparsed, scn);
+        verify_replay(&reparsed, &trace).expect("parsed scenario replays too");
+    }
+
+    /// The same scenario value under the two protocols is two different
+    /// executions with two different replay identities.
+    #[test]
+    fn protocols_have_distinct_replay_identities() {
+        let mdst = quick_converge(TopologySpec::StarRing { n: 8 }, SchedSpec::Synchronous);
+        let mut flood = mdst.clone();
+        flood.protocol = ProtocolSpec::FloodEcho;
+        let (a, ta) = run_traced_any(&mdst);
+        let (b, tb) = run_traced_any(&flood);
+        assert_ne!(a.digest, b.digest);
+        assert_ne!(ta.fingerprint, tb.fingerprint);
+        assert!(a.all_ok() && b.all_ok());
+    }
+
+    /// MDST-typed entry points refuse non-MDST scenarios loudly instead
+    /// of silently running the wrong protocol.
+    #[test]
+    #[should_panic(expected = "use engine::run_any")]
+    fn mdst_typed_entry_rejects_flood_scenarios() {
+        let mut scn = quick_converge(TopologySpec::Path { n: 4 }, SchedSpec::Synchronous);
+        scn.protocol = ProtocolSpec::FloodEcho;
+        let _ = run(&scn);
     }
 }

@@ -34,18 +34,30 @@
 //!   experiment table is a replayable artifact.
 //! * [`corpus`] — the curated scenario corpus exercised by the
 //!   conformance tests and the CI smoke job.
+//! * [`protocol`] — the protocol registry: the engine, campaigns, replay
+//!   and shrinking are written once against the [`Protocol`] trait, and a
+//!   `.scn` file selects an implementation with a `protocol = …` line
+//!   (default `mdst`, omitted from the canonical rendering for full
+//!   backward compatibility). The registered non-MDST workload is the
+//!   simulator's self-stabilizing flood/echo leader election.
+//!
+//! Execution goes through [`ssmdst_sim::Session`] with the engine's
+//! cross-cutting machinery (digest chain, trace records, phase stop
+//! conditions) attached as one composable [`ssmdst_sim::Observer`].
 
 pub mod campaign;
 pub mod corpus;
 pub mod engine;
+pub mod protocol;
 pub mod scn;
 pub mod shrink;
 pub mod spec;
 
 pub use campaign::{run_campaign, CampaignRow};
-pub use engine::{EngineOpts, PhaseOutcome, ScenarioOutcome};
+pub use engine::{verify_replay, EngineOpts, PhaseOutcome, ScenarioOutcome};
+pub use protocol::{Flood, Mdst, PhaseJudgment, Protocol};
 pub use shrink::{Predicate, ShrinkStats};
 pub use spec::{
-    ConfigSpec, CorruptSpec, EventAction, Scenario, ScenarioEvent, SchedSpec, StopSpec, Timing,
-    TopologySpec,
+    ConfigSpec, CorruptSpec, EventAction, ProtocolSpec, Scenario, ScenarioEvent, SchedSpec,
+    StopSpec, Timing, TopologySpec,
 };

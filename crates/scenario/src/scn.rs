@@ -17,8 +17,8 @@
 //! ```
 
 use crate::spec::{
-    ConfigSpec, CorruptSpec, EventAction, Scenario, ScenarioEvent, SchedSpec, StopSpec, Timing,
-    TopologySpec,
+    ConfigSpec, CorruptSpec, EventAction, ProtocolSpec, Scenario, ScenarioEvent, SchedSpec,
+    StopSpec, Timing, TopologySpec,
 };
 use ssmdst_graph::generators::GraphFamily;
 use ssmdst_sim::{ChurnEvent, NodeId};
@@ -29,6 +29,11 @@ pub fn render(s: &Scenario) -> String {
     let mut out = String::new();
     out.push_str("# ssmdst scenario v1\n");
     let _ = writeln!(out, "name = {}", s.name);
+    // The default protocol is omitted so pre-registry scenario texts (and
+    // their fingerprints and golden traces) stay byte-identical.
+    if s.protocol != ProtocolSpec::default() {
+        let _ = writeln!(out, "protocol = {}", s.protocol.label());
+    }
     let _ = writeln!(out, "topology = {}", render_topology(&s.topology));
     let _ = writeln!(out, "scheduler = {}", render_scheduler(&s.scheduler));
     let _ = writeln!(out, "config = {}", render_config(&s.config));
@@ -160,6 +165,7 @@ pub fn parse_churn(s: &str) -> Result<ChurnEvent, String> {
 /// [`TopologySpec::build`] cannot panic on a parsed scenario).
 pub fn parse(text: &str) -> Result<Scenario, String> {
     let mut name = None;
+    let mut protocol = ProtocolSpec::default();
     let mut topology = None;
     let mut scheduler = None;
     let mut config = ConfigSpec::Default;
@@ -184,6 +190,7 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
                 }
                 name = Some(value.to_string());
             }
+            "protocol" => protocol = ProtocolSpec::parse(value).map_err(ctx)?,
             "topology" => topology = Some(parse_topology(value).map_err(ctx)?),
             "scheduler" => scheduler = Some(parse_scheduler(value).map_err(ctx)?),
             "config" => config = parse_config(value).map_err(ctx)?,
@@ -195,6 +202,7 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
     }
     Ok(Scenario {
         name: name.ok_or("missing name line")?,
+        protocol,
         topology: topology.ok_or("missing topology line")?,
         scheduler: scheduler.ok_or("missing scheduler line")?,
         config,
@@ -375,6 +383,7 @@ mod tests {
     fn full_scenario() -> Scenario {
         Scenario {
             name: "everything".into(),
+            protocol: ProtocolSpec::Mdst,
             topology: TopologySpec::Family {
                 family: "gnp-sparse".into(),
                 n: 12,
@@ -500,6 +509,38 @@ mod tests {
             "{ok_head}scheduler = sync\ninit = fraction=1.5 drop=0 seed=1\nstop = max-rounds=10 quiet=auto"
         ))
         .is_err());
+    }
+
+    /// The protocol line round-trips when non-default and is *absent*
+    /// from the canonical rendering when default — the byte-compat
+    /// contract for pre-registry `.scn` files and fingerprints.
+    #[test]
+    fn protocol_line_round_trips_and_default_is_omitted() {
+        let mdst = Scenario::converge(
+            "m",
+            TopologySpec::Path { n: 4 },
+            SchedSpec::Synchronous,
+            100,
+        );
+        let text = render(&mdst);
+        assert!(!text.contains("protocol ="), "default must be omitted");
+        assert_eq!(parse(&text).unwrap().protocol, ProtocolSpec::Mdst);
+
+        let mut flood = mdst.clone();
+        flood.protocol = ProtocolSpec::FloodEcho;
+        let text = render(&flood);
+        assert!(text.contains("protocol = flood-echo"), "{text}");
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, flood);
+        assert_ne!(
+            flood.fingerprint(),
+            mdst.fingerprint(),
+            "protocol is replay identity"
+        );
+        // Explicit `protocol = mdst` parses but is not canonical.
+        let explicit = "name = m\nprotocol = mdst\ntopology = path n=4\nscheduler = sync\nstop = max-rounds=100 quiet=auto\n";
+        assert_eq!(parse(explicit).unwrap(), mdst);
+        assert!(parse("name = x\nprotocol = turbo\ntopology = path n=4\nscheduler = sync\nstop = max-rounds=10 quiet=auto").is_err());
     }
 
     #[test]

@@ -208,9 +208,10 @@ impl Predicate {
         }
     }
 
-    /// Run the scenario and evaluate the predicate on its outcome.
+    /// Run the scenario (under whatever protocol it names) and evaluate
+    /// the predicate on its outcome.
     pub fn test(&self, scn: &Scenario) -> bool {
-        self.holds(&engine::run(scn).0)
+        self.holds(&engine::run_any(scn))
     }
 }
 

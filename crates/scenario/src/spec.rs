@@ -133,6 +133,40 @@ impl TopologySpec {
     }
 }
 
+/// Which registered protocol a scenario drives — the registry axis that
+/// makes the scenario/campaign/replay layer automaton-generic. Defaults
+/// to [`ProtocolSpec::Mdst`], and the default is *omitted* from the
+/// canonical `.scn` rendering, so every pre-registry scenario text,
+/// fingerprint and golden trace is unchanged byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolSpec {
+    /// The paper's self-stabilizing MDST (`ssmdst-core`) — the default.
+    #[default]
+    Mdst,
+    /// The simulator's self-stabilizing minimum flood / leader election
+    /// ([`ssmdst_sim::protocols::FloodEcho`]).
+    FloodEcho,
+}
+
+impl ProtocolSpec {
+    /// The `.scn` spelling of this protocol.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolSpec::Mdst => "mdst",
+            ProtocolSpec::FloodEcho => "flood-echo",
+        }
+    }
+
+    /// Parse the `.scn` spelling.
+    pub fn parse(s: &str) -> Result<ProtocolSpec, String> {
+        match s {
+            "mdst" => Ok(ProtocolSpec::Mdst),
+            "flood-echo" => Ok(ProtocolSpec::FloodEcho),
+            other => Err(format!("unknown protocol {other:?} (mdst | flood-echo)")),
+        }
+    }
+}
+
 /// Daemon choice, serializable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedSpec {
@@ -294,6 +328,8 @@ pub struct StopSpec {
 pub struct Scenario {
     /// Scenario name (one token, no whitespace) — the artifact id.
     pub name: String,
+    /// Which registered protocol the scenario drives.
+    pub protocol: ProtocolSpec,
     /// Workload topology.
     pub topology: TopologySpec,
     /// Daemon.
@@ -320,6 +356,7 @@ impl Scenario {
     ) -> Self {
         Scenario {
             name: name.into(),
+            protocol: ProtocolSpec::default(),
             topology,
             scheduler,
             config: ConfigSpec::Default,

@@ -38,7 +38,18 @@
 //! bit-for-bit deterministic per seed.
 //!
 //! The crate is generic over the protocol: the MDST protocol lives in
-//! `ssmdst-core`, and the simulator only sees [`Automaton`] + [`Message`].
+//! `ssmdst-core`, and the simulator only sees [`Automaton`] + [`Message`]
+//! (a small reference protocol, the self-stabilizing [`protocols::FloodEcho`]
+//! minimum flood, ships in-crate).
+//!
+//! **Driving a run**: the composable surface is [`Session`] — a fluent
+//! builder over network + scheduler + horizon + planned churn — with
+//! cross-cutting machinery (digests, traces, metrics probes, stop
+//! conditions) attached as statically-dispatched [`Observer`]s; the unit
+//! observer costs nothing, so the zero-alloc steady state survives a
+//! `Session<A, ()>`. The [`Runner`] remains the low-level round engine
+//! underneath. Convergence detection lives in one named predicate,
+//! [`stop::QuiescenceGate`], shared by every driver.
 
 pub mod automaton;
 pub(crate) mod dense;
@@ -46,17 +57,27 @@ pub(crate) mod events;
 pub mod faults;
 pub mod metrics;
 pub mod network;
+pub mod observer;
 pub mod parallel;
+pub mod protocols;
 pub mod runner;
 pub mod scheduler;
+pub mod session;
+pub mod stop;
 pub mod trace;
 
 pub use automaton::{Automaton, Message, Outbox};
 pub use faults::{ChurnEvent, Corrupt, TopologyPlan};
 pub use metrics::{KindStats, Metrics};
 pub use network::Network;
+pub use observer::{
+    observe_rounds, stop_when, EveryRound, MetricsTrace, Observer, PhaseLog, RoundTrace,
+    ScheduleDigest, Stop, StopWhen,
+};
 pub use runner::{quiet_window, RunOutcome, Runner, StopReason};
-pub use scheduler::Scheduler;
+pub use scheduler::{Action, Scheduler};
+pub use session::{Session, SessionBuilder};
+pub use stop::QuiescenceGate;
 pub use trace::{ChangeSeries, Digest, RunTrace, StabilityWindow, TraceRecord};
 
 /// Node identifier; dense indices `0..n` matching `ssmdst_graph::NodeId`.

@@ -1,0 +1,338 @@
+//! Small reference protocols shipped with the simulator.
+//!
+//! Promoted from the test-suite's ad-hoc automata so non-MDST workloads
+//! are first-class: anything here runs through the same
+//! [`crate::Session`] + [`crate::Observer`] drivers, the scenario
+//! engine, campaigns, replay and shrinking that the MDST protocol uses —
+//! which is the point: the execution stack is protocol-generic end to
+//! end.
+//!
+//! The flagship resident is [`FloodEcho`], a **self-stabilizing minimum
+//! flood / leader election**: every node continuously advertises the
+//! smallest live id it believes reaches it, as a distance-stamped claim
+//! recomputed each step from fresh neighbor advertisements — never
+//! latched. Claims whose hop count reaches the network size are
+//! discarded, so *ghost minima* (corrupted claims for ids that no live
+//! node sources, the failure mode of the naive latched min-flood in the
+//! test suites) age out within `O(n)` rounds. It doubles as a stress
+//! workload whose traffic pattern — all-neighbor floods plus targeted
+//! echoes — is nothing like the MDST protocol's.
+
+#![warn(missing_docs)]
+
+use crate::automaton::{Automaton, Message, Outbox};
+use crate::faults::Corrupt;
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// A distance-stamped minimum claim: "id `value` is reachable `dist` hops
+/// away". The protocol's entire per-neighbor state and message payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// Claimed minimum id.
+    pub value: u32,
+    /// Hop distance to the claimed source.
+    pub dist: u32,
+}
+
+impl Claim {
+    /// The "no information" sentinel, worse than every real claim.
+    pub const NONE: Claim = Claim {
+        value: u32::MAX,
+        dist: u32::MAX,
+    };
+}
+
+/// Message alphabet of [`FloodEcho`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FloodMsg {
+    /// Periodic advertisement of the sender's current claim.
+    Flood(Claim),
+    /// Targeted correction sent back to a neighbor that advertised a
+    /// larger value than the responder currently claims.
+    Echo(Claim),
+}
+
+impl Message for FloodMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            FloodMsg::Flood(_) => "Flood",
+            FloodMsg::Echo(_) => "Echo",
+        }
+    }
+    fn size_bits(&self, n: usize) -> usize {
+        // One id, one hop count, one tag bit under the paper's ⌈log₂ n⌉
+        // encoding.
+        1 + 2 * (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize
+    }
+}
+
+/// Self-stabilizing minimum flood with echo acceleration.
+///
+/// Each node mirrors every neighbor's last advertised [`Claim`] and
+/// recomputes its own claim on every spontaneous step as the best of
+/// `(own id, 0)` and `(mirror.value, mirror.dist + 1)` over all mirrors,
+/// **discarding any candidate whose distance reaches the hop bound**
+/// (the network size). The claim is derived, never latched, so:
+///
+/// * corruption *above* the true minimum is overwritten by the next wave
+///   of fresh advertisements;
+/// * corruption *below* the true minimum — a ghost id with no live source
+///   — has no node at distance 0 sourcing it, so its minimum claimed
+///   distance grows every refresh until it hits the bound and vanishes.
+///
+/// Both together give convergence from arbitrary configurations to
+/// "every node claims its component's minimum live id": leader election,
+/// the hello-world of self-stabilization, under the exact send/receive
+/// atomic-step model the MDST protocol uses.
+#[derive(Debug, Clone)]
+pub struct FloodEcho {
+    id: NodeId,
+    /// Hop bound: claims at this distance are discarded (set to `n`).
+    bound: u32,
+    claim: Claim,
+    neighbors: Vec<NodeId>,
+    /// `mirror[i]` is the last claim heard from `neighbors[i]`.
+    mirror: Vec<Claim>,
+    /// Echoes received — a liveness counter exercised by metrics probes.
+    echoes: u64,
+}
+
+impl FloodEcho {
+    /// Fresh node: claims itself until advertisements arrive. `bound` is
+    /// the ghost-flush hop bound, normally the network size `n`.
+    pub fn new(id: NodeId, neighbors: &[NodeId], bound: u32) -> Self {
+        FloodEcho {
+            id,
+            bound,
+            claim: Claim { value: id, dist: 0 },
+            neighbors: neighbors.to_vec(),
+            mirror: vec![Claim::NONE; neighbors.len()],
+            echoes: 0,
+        }
+    }
+
+    /// The node's current minimum estimate.
+    pub fn value(&self) -> u32 {
+        self.claim.value
+    }
+
+    /// The node's full current claim.
+    pub fn claim(&self) -> Claim {
+        self.claim
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Echo messages received so far.
+    pub fn echoes(&self) -> u64 {
+        self.echoes
+    }
+
+    fn recompute(&mut self) {
+        let mut best = Claim {
+            value: self.id,
+            dist: 0,
+        };
+        for m in &self.mirror {
+            let Some(d) = m.dist.checked_add(1) else {
+                continue;
+            };
+            if d >= self.bound {
+                continue; // ghost flush: too far to be real
+            }
+            if m.value < best.value || (m.value == best.value && d < best.dist) {
+                best = Claim {
+                    value: m.value,
+                    dist: d,
+                };
+            }
+        }
+        self.claim = best;
+    }
+
+    fn learn(&mut self, from: NodeId, heard: Claim) {
+        if let Ok(i) = self.neighbors.binary_search(&from) {
+            self.mirror[i] = heard;
+        }
+        self.recompute();
+    }
+}
+
+impl Automaton for FloodEcho {
+    type Msg = FloodMsg;
+
+    fn tick(&mut self, out: &mut Outbox<FloodMsg>) {
+        self.recompute();
+        for &w in &self.neighbors {
+            out.send(w, FloodMsg::Flood(self.claim));
+        }
+    }
+
+    fn receive(&mut self, from: NodeId, msg: FloodMsg, out: &mut Outbox<FloodMsg>) {
+        match msg {
+            FloodMsg::Flood(c) => {
+                self.learn(from, c);
+                if c.value > self.claim.value {
+                    out.send(from, FloodMsg::Echo(self.claim));
+                }
+            }
+            FloodMsg::Echo(c) => {
+                self.echoes = self.echoes.wrapping_add(1);
+                self.learn(from, c);
+            }
+        }
+    }
+
+    fn on_topology_change(&mut self, neighbors: &[NodeId]) {
+        // Keep mirrors for surviving neighbors; new neighbors start
+        // unknown, so no claim survives an edge swap unexamined.
+        let mut mirror = vec![Claim::NONE; neighbors.len()];
+        for (i, &w) in neighbors.iter().enumerate() {
+            if let Ok(old) = self.neighbors.binary_search(&w) {
+                mirror[i] = self.mirror[old];
+            }
+        }
+        self.neighbors = neighbors.to_vec();
+        self.mirror = mirror;
+        self.recompute();
+    }
+}
+
+impl Corrupt for FloodEcho {
+    fn corrupt(&mut self, rng: &mut StdRng) {
+        // Arbitrary garbage everywhere the adversary can reach: the claim
+        // (including impossibly small ghost values at short distances),
+        // every mirror, the counter. The id, hop bound and neighbor list
+        // are the node's identity/topology, which the transient-fault
+        // model leaves intact.
+        self.claim = Claim {
+            value: rng.next_u32(),
+            dist: rng.next_u32() % self.bound.max(1),
+        };
+        for m in &mut self.mirror {
+            *m = Claim {
+                value: rng.next_u32(),
+                dist: rng.next_u32() % self.bound.max(1),
+            };
+        }
+        self.echoes = rng.next_u64();
+    }
+}
+
+/// Build a [`FloodEcho`] network over `g` — the one-liner the scenario
+/// registry and the examples use.
+pub fn flood_network(g: &ssmdst_graph::Graph) -> crate::Network<FloodEcho> {
+    let bound = g.n() as u32;
+    crate::Network::from_graph(g, |v, nbrs| FloodEcho::new(v, nbrs, bound))
+}
+
+/// Canonical quiescence projection for [`FloodEcho`]: every live node's
+/// current claim (crashed nodes report [`Claim::NONE`] so rejoins perturb
+/// the projection and re-arm quiescence detection).
+pub fn flood_projection(net: &crate::Network<FloodEcho>) -> Vec<Claim> {
+    (0..net.n() as NodeId)
+        .map(|v| {
+            if net.is_alive(v) {
+                net.node(v).claim()
+            } else {
+                Claim::NONE
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::{Scheduler, Session};
+    use ssmdst_graph::generators::structured::{cycle, path};
+
+    fn values(net: &crate::Network<FloodEcho>) -> Vec<u32> {
+        net.nodes().iter().map(|n| n.value()).collect()
+    }
+
+    #[test]
+    fn converges_to_global_minimum_under_every_daemon() {
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::RandomAsync { seed: 3 },
+            Scheduler::Adversarial { seed: 3 },
+        ] {
+            let g = cycle(9).unwrap();
+            let mut session = Session::from_network(flood_network(&g))
+                .scheduler(sched)
+                .horizon(2_000)
+                .build();
+            let out = session.run_to_quiescence(32, flood_projection);
+            assert!(out.converged(), "{sched:?}");
+            assert!(values(session.network()).iter().all(|&v| v == 0));
+        }
+    }
+
+    /// The self-stabilization property the latched test-suite flood does
+    /// NOT have: ghost minima — corrupted claims below every live id —
+    /// age out through the distance bound instead of circulating forever.
+    #[test]
+    fn recovers_from_arbitrary_corruption() {
+        let g = path(8).unwrap();
+        let mut session = Session::from_network(flood_network(&g))
+            .scheduler(Scheduler::RandomAsync { seed: 11 })
+            .horizon(5_000)
+            .build();
+        let out = session.run_to_quiescence(32, flood_projection);
+        assert!(out.converged());
+        for seed in 0..5 {
+            let _ = session.inject(FaultPlan::total(seed));
+            let out = session.run_to_quiescence(32, flood_projection);
+            assert!(out.converged(), "seed {seed}: no recovery");
+            assert!(
+                values(session.network()).iter().all(|&v| v == 0),
+                "seed {seed}: stale corrupted minimum survived: {:?}",
+                values(session.network())
+            );
+        }
+    }
+
+    /// Crashing the elected minimum is the acid test: its claim is a
+    /// ghost the instant the node dies, and must be flushed so the
+    /// survivors re-elect. Rejoining restores it.
+    #[test]
+    fn reelects_after_crash_and_rejoin() {
+        let g = cycle(6).unwrap();
+        let mut session = Session::from_network(flood_network(&g))
+            .scheduler(Scheduler::Synchronous)
+            .horizon(2_000)
+            .build();
+        let out = session.run_to_quiescence(32, flood_projection);
+        assert!(out.converged());
+        let _ = session.churn(&crate::ChurnEvent::CrashNode(0));
+        let out = session.run_to_quiescence(32, flood_projection);
+        assert!(out.converged());
+        let live: Vec<u32> = (1..6).map(|v| session.network().node(v).value()).collect();
+        assert!(live.iter().all(|&v| v == 1), "new minimum: {live:?}");
+        let _ = session.churn(&crate::ChurnEvent::RejoinNode(0));
+        let out = session.run_to_quiescence(32, flood_projection);
+        assert!(out.converged());
+        assert!(values(session.network()).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn echoes_flow_and_are_counted() {
+        let g = path(5).unwrap();
+        let mut session = Session::from_network(flood_network(&g))
+            .scheduler(Scheduler::Synchronous)
+            .horizon(200)
+            .build();
+        let _ = session.run_to_quiescence(8, flood_projection);
+        let echoed: u64 = session.network().nodes().iter().map(|n| n.echoes()).sum();
+        assert!(echoed > 0, "echo fast path never fired");
+        assert!(session.network().metrics.kind("Echo").sent > 0);
+        assert!(session.network().metrics.kind("Flood").sent > 0);
+    }
+}

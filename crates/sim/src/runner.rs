@@ -3,7 +3,11 @@
 use crate::automaton::Automaton;
 use crate::events::EventQueue;
 use crate::network::Network;
+use crate::observer::{Observer, Stop};
 use crate::scheduler::{Action, KeySource, Scheduler};
+use crate::stop::QuiescenceGate;
+
+pub use crate::stop::quiet_window;
 
 /// Why a run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +20,7 @@ pub enum StopReason {
 
 /// Result of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "inspect the outcome: a run that hit its round limit did not converge"]
 pub struct RunOutcome {
     /// Rounds executed in this call.
     pub rounds: u64,
@@ -28,16 +33,6 @@ impl RunOutcome {
     pub fn converged(&self) -> bool {
         self.reason == StopReason::Converged
     }
-}
-
-/// Canonical quiescence-confirmation window for an `n`-node run, shared by
-/// the facade, the experiment harness and the dynamic-topology tests so
-/// they all judge stability identically: `max(6n, 64)` rounds — long
-/// enough that periodic protocol activity with an `O(n)` period (e.g. the
-/// MDST search wave, period `2n`, plus an improvement of `≤ 2n` hops)
-/// cannot hide inside it.
-pub fn quiet_window(n: usize) -> u64 {
-    (6 * n as u64).max(64)
 }
 
 /// Drives a [`Network`] under a [`Scheduler`], counting rounds.
@@ -138,11 +133,27 @@ impl<A: Automaton> Runner<A> {
 
     /// Execute one full round on the event-driven engine.
     pub fn step_round(&mut self) {
+        let _ = self.step_round_observed(&mut ());
+    }
+
+    /// Execute one full round through an [`Observer`] stack:
+    /// `on_round_start` before obligations are derived, `on_event` for
+    /// every scheduled event (in execution order, before the batch runs),
+    /// `on_round_end` after — whose verdict is returned. With the unit
+    /// observer `()` every hook is an inlineable no-op, so this *is*
+    /// [`Runner::step_round`]: same execution, same zero-allocation
+    /// steady state.
+    pub fn step_round_observed<O: Observer<A>>(&mut self, obs: &mut O) -> Stop {
+        obs.on_round_start(&self.net, self.round);
         self.queue.refresh(&mut self.net);
         let events = self.queue.schedule(self.round, &mut self.keys, &self.net);
+        for &(key, idx, act) in events {
+            obs.on_event(key, idx, act);
+        }
         Self::execute(&mut self.net, events);
         self.round += 1;
         self.net.metrics.rounds = self.round;
+        obs.on_round_end(&self.net, self.round)
     }
 
     /// Execute one full round, folding the complete schedule — every
@@ -150,28 +161,17 @@ impl<A: Automaton> Runner<A> {
     /// order — into `digest`. Byte-for-byte the same execution as
     /// [`Runner::step_round`]; the digest chain is the record-replay
     /// witness: two runs whose chained digests agree every round executed
-    /// the identical schedule.
+    /// the identical schedule. (Equivalent to attaching a
+    /// [`crate::ScheduleDigest`] observer; both fold through
+    /// [`crate::observer::fold_event`].)
     pub fn step_round_digest(&mut self, digest: &mut crate::trace::Digest) {
-        self.queue.refresh(&mut self.net);
-        let events = self.queue.schedule(self.round, &mut self.keys, &self.net);
-        for &(key, idx, act) in events {
-            digest.write_u128(key);
-            digest.write_u32(idx);
-            match act {
-                Action::Tick(v) => {
-                    digest.write_u32(0);
-                    digest.write_u32(v);
-                }
-                Action::Deliver(from, to) => {
-                    digest.write_u32(1);
-                    digest.write_u32(from);
-                    digest.write_u32(to);
-                }
+        struct FoldInto<'a>(&'a mut crate::trace::Digest);
+        impl<A: Automaton> Observer<A> for FoldInto<'_> {
+            fn on_event(&mut self, key: u128, idx: u32, action: Action) {
+                crate::observer::fold_event(self.0, key, idx, action);
             }
         }
-        Self::execute(&mut self.net, events);
-        self.round += 1;
-        self.net.metrics.rounds = self.round;
+        let _ = self.step_round_observed(&mut FoldInto(digest));
     }
 
     /// Execute one full round with the pre-engine obligation discovery: a
@@ -211,16 +211,23 @@ impl<A: Automaton> Runner<A> {
     }
 
     /// Run until `observer` returns `true` (checked after every round) or
-    /// `max_rounds` elapse.
+    /// `max_rounds` elapse. (Closure form of [`Runner::run_observed`] with
+    /// a [`crate::observer::StopWhen`]; prefer [`crate::Session`] for new
+    /// drivers.)
     pub fn run_until(
         &mut self,
         max_rounds: u64,
-        mut observer: impl FnMut(&Network<A>, u64) -> bool,
+        observer: impl FnMut(&Network<A>, u64) -> bool,
     ) -> RunOutcome {
+        self.run_observed(max_rounds, &mut crate::observer::stop_when(observer))
+    }
+
+    /// Run until the observer stack answers [`Stop::Done`] (checked after
+    /// every round) or `max_rounds` elapse.
+    pub fn run_observed<O: Observer<A>>(&mut self, max_rounds: u64, obs: &mut O) -> RunOutcome {
         let start = self.round;
         while self.round - start < max_rounds {
-            self.step_round();
-            if observer(&self.net, self.round) {
+            if self.step_round_observed(obs).is_done() {
                 return RunOutcome {
                     rounds: self.round - start,
                     reason: StopReason::Converged,
@@ -237,24 +244,16 @@ impl<A: Automaton> Runner<A> {
     /// `quiet_rounds` consecutive rounds (or `max_rounds` elapse). This is
     /// the quiescence detector used to decide that the protocol has
     /// stabilized: the projection is typically the tree edge set + dmax.
+    /// The predicate is the shared [`QuiescenceGate`], so every driver
+    /// judges stability identically.
     pub fn run_to_quiescence<P: PartialEq>(
         &mut self,
         max_rounds: u64,
         quiet_rounds: u64,
         mut project: impl FnMut(&Network<A>) -> P,
     ) -> RunOutcome {
-        let mut last = project(&self.net);
-        let mut quiet = 0u64;
-        self.run_until(max_rounds, |net, _| {
-            let cur = project(net);
-            if cur == last {
-                quiet += 1;
-            } else {
-                quiet = 0;
-                last = cur;
-            }
-            quiet >= quiet_rounds
-        })
+        let mut gate = QuiescenceGate::primed(quiet_rounds, project(&self.net));
+        self.run_until(max_rounds, |net, _| gate.observe(project(net)))
     }
 }
 
@@ -367,7 +366,7 @@ mod tests {
     fn identical_seeds_give_identical_executions() {
         let run = |seed| {
             let mut r = Runner::new(min_net(9), Scheduler::RandomAsync { seed });
-            r.run_until(30, |_, _| false);
+            let _ = r.run_until(30, |_, _| false);
             let vals: Vec<u32> = r.network().nodes().iter().map(|a| a.value).collect();
             (vals, r.network().metrics.total_sent)
         };

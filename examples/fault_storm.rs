@@ -1,7 +1,7 @@
 //! Self-stabilization under repeated fault bursts: the adversary corrupts
 //! an escalating fraction of nodes (up to everything at once, repeatedly)
 //! and the protocol re-converges every time — Definition 1's convergence
-//! property made visible.
+//! property made visible, driven through one [`Session`].
 //!
 //! ```text
 //! cargo run --release --example fault_storm
@@ -9,7 +9,7 @@
 
 use ssmdst::graph::generators::GraphFamily;
 use ssmdst::prelude::*;
-use ssmdst::sim::faults::{inject, FaultPlan};
+use ssmdst::sim::faults::FaultPlan;
 
 fn main() {
     let g = GraphFamily::GnpSparse.generate(40, 11);
@@ -21,38 +21,37 @@ fn main() {
         g.max_degree()
     );
 
-    let net = build_network(&g, Config::for_n(g.n()));
-    let mut runner = Runner::new(net, Scheduler::RandomAsync { seed: 3 });
-    let quiet = 6 * g.n() as u64;
+    let quiet = quiet_window(g.n());
+    let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
+        .scheduler(Scheduler::RandomAsync { seed: 3 })
+        .horizon(400_000)
+        .build();
 
-    let out = runner.run_to_quiescence(400_000, quiet, oracle::projection);
+    let out = session.run_to_quiescence(quiet, oracle::projection);
     assert!(out.converged());
     println!(
         "initial stabilization: deg(T) = {:?}\n",
-        oracle::current_degree(&g, runner.network())
+        oracle::current_degree(&g, session.network())
     );
 
     for (burst, fraction) in [0.2f64, 0.5, 1.0, 1.0, 0.8].iter().enumerate() {
-        let victims = inject(
-            runner.network_mut(),
-            FaultPlan {
-                node_fraction: *fraction,
-                message_drop: 0.5,
-                seed: 100 + burst as u64,
-            },
-        );
-        let before = runner.round();
-        let out = runner.run_to_quiescence(400_000, quiet, oracle::projection);
+        let victims = session.inject(FaultPlan {
+            node_fraction: *fraction,
+            message_drop: 0.5,
+            seed: 100 + burst as u64,
+        });
+        let before = session.round();
+        let out = session.run_to_quiescence(quiet, oracle::projection);
         assert!(out.converged(), "burst {burst}: no recovery");
         let t =
-            oracle::try_extract_tree(&g, runner.network()).expect("spanning tree after recovery");
+            oracle::try_extract_tree(&g, session.network()).expect("spanning tree after recovery");
         t.validate(&g).expect("valid tree");
         println!(
             "burst {burst}: corrupted {:>2} nodes ({:>3.0}%) + dropped half the messages \
              → recovered in ~{} rounds, deg(T) = {}",
             victims.len(),
             fraction * 100.0,
-            runner.round() - before - quiet,
+            session.round() - before - quiet,
             t.max_degree()
         );
         assert!(t.max_degree() <= lb + 2, "quality degraded past Δ*+1 range");

@@ -50,23 +50,26 @@ fn main() {
     );
 
     // The self-stabilizing protocol: fully distributed, one-hop
-    // communication only, adversarially scheduled.
-    let net = build_network(&g, Config::for_n(g.n()));
-    let mut runner = Runner::new(net, Scheduler::Adversarial { seed: 5 });
-    let quiet = 6 * g.n() as u64;
-    let out = runner.run_to_quiescence(600_000, quiet, oracle::projection);
+    // communication only, adversarially scheduled — a Session with the
+    // canonical quiescence predicate.
+    let quiet = quiet_window(g.n());
+    let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
+        .scheduler(Scheduler::Adversarial { seed: 5 })
+        .horizon(600_000)
+        .build();
+    let out = session.run_to_quiescence(quiet, oracle::projection);
     assert!(out.converged(), "protocol must stabilize");
-    let t = oracle::try_extract_tree(&g, runner.network()).expect("tree");
+    let t = oracle::try_extract_tree(&g, session.network()).expect("tree");
     println!(
         "  ssmdst (distributed, adversarial daemon): {}",
         t.max_degree()
     );
     println!(
         "\nstabilized in ~{} rounds, {} messages ({} Search / {} Remove)",
-        runner.round() - quiet,
-        runner.network().metrics.total_sent,
-        runner.network().metrics.kind("Search").sent,
-        runner.network().metrics.kind("Remove").sent,
+        session.round() - quiet,
+        session.network().metrics.total_sent,
+        session.network().metrics.kind("Search").sent,
+        session.network().metrics.kind("Remove").sent,
     );
     // The distributed result must match the centralized FR within 1.
     assert!(t.max_degree() <= fr.max_degree() + 1);

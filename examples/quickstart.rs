@@ -1,4 +1,4 @@
-//! Quickstart: build a network, run the protocol, watch the degree drop.
+//! Quickstart: build a session, run the protocol, watch the degree drop.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -19,32 +19,39 @@ fn main() {
     let bfs = bfs_spanning_tree(&g, 0).expect("connected");
     println!("BFS tree degree: {}", bfs.max_degree());
 
-    // Run the self-stabilizing protocol from a clean reset.
-    let net = build_network(&g, Config::for_n(g.n()));
-    let mut runner = Runner::new(net, Scheduler::Synchronous);
+    // Run the self-stabilizing protocol from a clean reset: a Session
+    // stopped by a named condition that doubles as the progress narrator
+    // (one oracle computation per round).
+    let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
+        .scheduler(Scheduler::Synchronous)
+        .horizon(200_000)
+        .build();
     let mut last = None;
-    let out = runner.run_until(200_000, |net, round| {
-        let deg = oracle::current_degree(&g, net);
-        if deg != last {
-            if let Some(d) = deg {
-                println!("round {round:>6}: deg(T) = {d}");
+    let out = session.run_until(
+        200_000,
+        &mut stop_when(|net: &Network<MdstNode>, round: u64| {
+            let deg = oracle::current_degree(&g, net);
+            if deg != last {
+                if let Some(d) = deg {
+                    println!("round {round:>6}: deg(T) = {d}");
+                }
+                last = deg;
             }
-            last = deg;
-        }
-        deg == Some(2)
-    });
+            deg == Some(2)
+        }),
+    );
 
     assert!(out.converged(), "expected convergence to the optimum");
-    let t = oracle::try_extract_tree(&g, runner.network()).expect("spanning tree");
+    let t = oracle::try_extract_tree(&g, session.network()).expect("spanning tree");
     t.validate(&g).expect("valid spanning tree");
     println!(
         "converged in {} rounds: deg(T) = {} (Δ* = 2, guarantee ≤ Δ*+1 = 3)",
-        runner.round(),
+        session.round(),
         t.max_degree()
     );
     println!(
         "messages: {} total, largest {} bits",
-        runner.network().metrics.total_sent,
-        runner.network().metrics.max_message_bits()
+        session.network().metrics.total_sent,
+        session.network().metrics.max_message_bits()
     );
 }

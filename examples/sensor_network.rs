@@ -2,7 +2,8 @@
 //! geometric radio graph, where a low-degree spanning tree means less
 //! congestion and fewer collision hot-spots at any single sensor. Includes
 //! a mid-run transient fault — half the sensors reboot into garbage state —
-//! and shows the self-stabilizing recovery.
+//! and a planned mid-run churn event scheduled straight on the session
+//! builder (a sensor dies at a fixed round).
 //!
 //! ```text
 //! cargo run --release --example sensor_network
@@ -10,7 +11,8 @@
 
 use ssmdst::graph::generators::geometric::random_geometric_with_points;
 use ssmdst::prelude::*;
-use ssmdst::sim::faults::{inject, FaultPlan};
+use ssmdst::sim::faults::FaultPlan;
+use ssmdst::sim::ChurnEvent;
 
 fn main() {
     let n = 48;
@@ -34,31 +36,45 @@ fn main() {
         g.degree(hub)
     );
 
-    let net = build_network(&g, Config::for_n(g.n()));
-    let mut runner = Runner::new(net, Scheduler::RandomAsync { seed: 7 });
-    let quiet = 6 * g.n() as u64;
-    let out = runner.run_to_quiescence(400_000, quiet, oracle::projection);
-    let t = oracle::try_extract_tree(&g, runner.network()).expect("tree formed");
+    // A sensor at the field's edge browns out at round 200 — declared on
+    // the builder, applied by the session, announced to observers.
+    let casualty = g.nodes().min_by_key(|&v| g.degree(v)).unwrap();
+    let quiet = quiet_window(g.n());
+    let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
+        .scheduler(Scheduler::RandomAsync { seed: 7 })
+        .horizon(400_000)
+        .churn_at(200, ChurnEvent::CrashNode(casualty))
+        .build();
+    let out = session.run_to_quiescence(quiet, oracle::projection);
+    assert!(out.converged());
     println!(
-        "stabilized in ~{} rounds: deg(T) = {} (BFS tree would give {})",
-        runner.round() - quiet,
-        t.max_degree(),
+        "stabilized in ~{} rounds with sensor {casualty} dark: the {} survivors \
+         hold a tree (BFS on the full field would give degree {})",
+        session.round() - quiet,
+        session.network().alive_count(),
         bfs_spanning_tree(&g, 0).unwrap().max_degree()
     );
-    assert!(out.converged());
 
     // Transient fault: half the sensors reboot with corrupted memory.
     println!("\n*** transient fault: 50% of sensors corrupt their state ***");
-    let victims = inject(runner.network_mut(), FaultPlan::partial(0.5, 9));
+    let victims = session.inject(FaultPlan::partial(0.5, 9));
     println!("{} sensors corrupted", victims.len());
-    let before = runner.round();
-    let out = runner.run_to_quiescence(400_000, quiet, oracle::projection);
+    let before = session.round();
+    let out = session.run_to_quiescence(quiet, oracle::projection);
     assert!(out.converged(), "self-stabilization must recover");
-    let t = oracle::try_extract_tree(&g, runner.network()).expect("tree re-formed");
+    println!(
+        "recovered in ~{} rounds — no operator intervention",
+        session.round() - before - quiet
+    );
+
+    // Power restored: the dark sensor rejoins and the full tree re-forms.
+    let _ = session.churn(&ChurnEvent::RejoinNode(casualty));
+    let out = session.run_to_quiescence(quiet, oracle::projection);
+    assert!(out.converged(), "rejoin must re-stabilize");
+    let t = oracle::try_extract_tree(&g, session.network()).expect("tree re-formed");
     t.validate(&g).expect("valid spanning tree");
     println!(
-        "recovered in ~{} rounds: deg(T) = {} — no operator intervention",
-        runner.round() - before - quiet,
+        "sensor {casualty} back online: full field re-stabilized, deg(T) = {}",
         t.max_degree()
     );
 }

@@ -29,17 +29,19 @@ fn main() -> std::io::Result<()> {
         leaf_count(&before)
     );
 
-    let net = build_network(&g, Config::for_n(g.n()));
-    let mut runner = Runner::new(net, Scheduler::Synchronous);
-    let quiet = 6 * g.n() as u64;
-    let out = runner.run_to_quiescence(200_000, quiet, oracle::projection);
+    let quiet = quiet_window(g.n());
+    let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
+        .scheduler(Scheduler::Synchronous)
+        .horizon(200_000)
+        .build();
+    let out = session.run_to_quiescence(quiet, oracle::projection);
     assert!(out.converged());
-    let after = oracle::try_extract_tree(&g, runner.network()).expect("tree");
+    let after = oracle::try_extract_tree(&g, session.network()).expect("tree");
     fs::write("after.dot", to_dot(&g, Some(&after)))?;
     let s = tree_degrees(&after);
     println!(
         "after (ssmdst, ~{} rounds): deg(T)={} ({} max-degree nodes, {} leaves) -> after.dot",
-        runner.round() - quiet,
+        session.round() - quiet,
         s.max,
         max_degree_count(&after),
         leaf_count(&after)

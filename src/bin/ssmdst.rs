@@ -23,7 +23,7 @@ use ssmdst::core::oracle;
 use ssmdst::graph::generators::GraphFamily;
 use ssmdst::prelude::*;
 use ssmdst::scenario::{corpus, engine, scn, shrink, Predicate};
-use ssmdst::sim::faults::{inject, FaultPlan};
+use ssmdst::sim::faults::FaultPlan;
 use ssmdst::sim::RunTrace;
 
 #[derive(Debug)]
@@ -147,10 +147,11 @@ fn cmd_replay(args: &[String]) -> ! {
         std::process::exit(2);
     };
     let scenario = load_scenario(&handle);
-    let (out, trace) = engine::run_traced(&scenario);
+    let (out, trace) = engine::run_traced_any(&scenario);
     println!(
-        "scenario: {} (n={} m={} fingerprint={:016x})",
+        "scenario: {} (protocol={} n={} m={} fingerprint={:016x})",
         scenario.name,
+        scenario.protocol.label(),
         out.n,
         out.m,
         scenario.fingerprint()
@@ -311,45 +312,46 @@ fn main() {
         g.max_degree()
     );
 
-    let net = build_network(&g, Config::for_n(g.n()));
-    let mut runner = Runner::new(net, sched);
-    let quiet = (6 * g.n() as u64).max(64);
-    let out = runner.run_to_quiescence(args.max_rounds, quiet, oracle::projection);
+    // The legacy flag form is a thin layer over the same Session surface
+    // the scenario engine and the experiment harness use.
+    let quiet = ssmdst::sim::quiet_window(g.n());
+    let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
+        .scheduler(sched)
+        .horizon(args.max_rounds)
+        .build();
+    let out = session.run_to_quiescence(quiet, oracle::projection);
     if !out.converged() {
         eprintln!("did not stabilize within {} rounds", args.max_rounds);
         std::process::exit(1);
     }
-    let t = oracle::try_extract_tree(&g, runner.network()).expect("stabilized ⇒ tree");
+    let t = oracle::try_extract_tree(&g, session.network()).expect("stabilized ⇒ tree");
     println!(
         "stabilized: deg(T)={} after ~{} rounds, {} messages (largest {} bits)",
         t.max_degree(),
-        runner.round() - quiet,
-        runner.network().metrics.total_sent,
-        runner.network().metrics.max_message_bits(),
+        session.round() - quiet,
+        session.network().metrics.total_sent,
+        session.network().metrics.max_message_bits(),
     );
 
     if args.corrupt > 0.0 {
-        let victims = inject(
-            runner.network_mut(),
-            FaultPlan::partial(args.corrupt, args.seed + 1),
-        );
+        let victims = session.inject(FaultPlan::partial(args.corrupt, args.seed + 1));
         println!("injected fault: corrupted {} nodes", victims.len());
-        let before = runner.round();
-        let out = runner.run_to_quiescence(args.max_rounds, quiet, oracle::projection);
+        let before = session.round();
+        let out = session.run_to_quiescence(quiet, oracle::projection);
         if !out.converged() {
             eprintln!("did not recover within {} rounds", args.max_rounds);
             std::process::exit(1);
         }
-        let t = oracle::try_extract_tree(&g, runner.network()).expect("recovered ⇒ tree");
+        let t = oracle::try_extract_tree(&g, session.network()).expect("recovered ⇒ tree");
         println!(
             "recovered: deg(T)={} after ~{} rounds",
             t.max_degree(),
-            runner.round() - before - quiet
+            session.round() - before - quiet
         );
     }
 
     if let Some(path) = args.dot {
-        let t = oracle::try_extract_tree(&g, runner.network()).expect("tree");
+        let t = oracle::try_extract_tree(&g, session.network()).expect("tree");
         std::fs::write(&path, ssmdst::graph::dot::to_dot(&g, Some(&t)))
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("wrote {path}");

@@ -7,14 +7,16 @@
 //! * [`graph`] — graph substrate: representation, generators, exact MDST,
 //!   lower bounds ([`ssmdst_graph`]);
 //! * [`sim`] — event-driven asynchronous message-passing simulator with
-//!   FIFO channels, schedulers, fault injection and dynamic topology
+//!   FIFO channels, schedulers, fault injection, dynamic topology, and
+//!   the composable [`sim::Session`] + [`sim::Observer`] execution API
 //!   ([`ssmdst_sim`]);
 //! * [`core`] — the protocol itself ([`ssmdst_core`]);
 //! * [`baselines`] — Fürer–Raghavachari, serialized-improvement and naive
 //!   tree baselines ([`ssmdst_baselines`]);
 //! * [`scenario`] — declarative scenarios, bit-exact record-replay,
-//!   delta-debugging shrinker and campaign sweeps ([`ssmdst_scenario`];
-//!   `ssmdst replay` / `ssmdst shrink` on the CLI).
+//!   delta-debugging shrinker and campaign sweeps, generic over the
+//!   protocol registry ([`ssmdst_scenario`]; `ssmdst replay` /
+//!   `ssmdst shrink` on the CLI).
 //!
 //! ## Paper-to-code map
 //!
@@ -31,6 +33,9 @@
 //! | legitimacy predicate (Definition 1) | [`core::oracle::is_legitimate`] |
 //! | transient faults & topology churn | [`sim::faults`] |
 //! | re-convergence under churn (`deg ≤ Δ*+1` per component) | [`core::churn`] |
+//! | the run loop / daemon model (§2) | [`sim::session::Session`] over [`sim::runner::Runner`] |
+//! | cross-cutting instrumentation (digests, traces, metrics, stops) | [`sim::observer`], [`sim::stop`] |
+//! | the protocol axis of the scenario space | [`scenario::protocol`] (registry; `mdst` and `flood-echo`) |
 //!
 //! ## Quickstart
 //!
@@ -49,7 +54,8 @@
 //! assert!(deg <= 3); // Δ* + 1 (Theorem 2)
 //! ```
 //!
-//! Driving the [`sim::Runner`] by hand gives round-level control:
+//! For round-level control, drive a [`sim::Session`] yourself — the same
+//! composable surface every driver in the workspace uses:
 //!
 //! ```
 //! use ssmdst::prelude::*;
@@ -57,13 +63,15 @@
 //! let g = ssmdst::graph::generators::structured::star_with_ring(8).unwrap();
 //!
 //! // Run the protocol until the global state is legitimate and low-degree.
-//! let net = ssmdst::core::build_network(&g, Config::for_n(g.n()));
-//! let mut runner = Runner::new(net, Scheduler::Synchronous);
-//! let out = runner.run_until(10_000, |net, _| {
+//! let mut session = Session::from_network(ssmdst::core::build_network(&g, Config::for_n(g.n())))
+//!     .scheduler(Scheduler::Synchronous)
+//!     .horizon(10_000)
+//!     .build();
+//! let out = session.run_until(10_000, &mut stop_when(|net: &Network<MdstNode>, _| {
 //!     ssmdst::core::oracle::current_degree(&g, net)
 //!         .map(|d| d <= 3)
 //!         .unwrap_or(false)
-//! });
+//! }));
 //! assert!(out.converged());
 //! ```
 
@@ -74,22 +82,93 @@ pub use ssmdst_scenario as scenario;
 pub use ssmdst_sim as sim;
 
 /// Convenient glob-import surface for examples and tests.
+///
+/// ## The execution API
+///
+/// [`Session`](prelude::Session) + [`Observer`](prelude::Observer) are
+/// the composable driver surface; cross-cutting machinery attaches as
+/// observers:
+///
+/// ```
+/// use ssmdst::prelude::*;
+///
+/// let g = ssmdst::graph::generators::structured::cycle(6).unwrap();
+/// let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
+///     .scheduler(Scheduler::Synchronous)
+///     .horizon(50_000)
+///     .observe((ScheduleDigest::new(), RoundTrace::new()));
+/// let out = session.run_to_quiescence(quiet_window(g.n()), oracle::projection);
+/// assert!(out.converged());
+/// let (digest, trace) = session.observer();
+/// assert_ne!(digest.value(), 0);
+/// assert!(!trace.samples().is_empty());
+/// ```
+///
+/// ## Scenarios and replay
+///
+/// A [`Scenario`](prelude::Scenario) is a committable artifact;
+/// [`verify_replay`](prelude::verify_replay) checks a recorded trace
+/// bit-for-bit:
+///
+/// ```
+/// use ssmdst::prelude::*;
+/// use ssmdst::scenario::engine;
+///
+/// let scn = Scenario::converge(
+///     "doc",
+///     TopologySpec::StarRing { n: 8 },
+///     SchedSpec::Synchronous,
+///     40_000,
+/// );
+/// let (out, trace) = engine::run_traced_any(&scn);
+/// assert!(out.all_ok());
+/// verify_replay(&scn, &trace).expect("bit-exact replay");
+/// ```
+///
+/// ## Shrinking
+///
+/// [`shrink`](prelude::shrink) delta-debugs a failing scenario to a
+/// minimal reproducer under a named [`Predicate`](prelude::Predicate):
+///
+/// ```
+/// use ssmdst::prelude::*;
+///
+/// let mut scn = Scenario::converge(
+///     "cap",
+///     TopologySpec::Cycle { n: 8 },
+///     SchedSpec::Synchronous,
+///     1_000,
+/// );
+/// scn.stop.max_rounds = 20; // cannot confirm quiescence: always fails
+/// let pred = Predicate::NotConverged;
+/// let (minimal, _) = shrink(&scn, |s| pred.test(s)).expect("fails");
+/// assert!(minimal.size() < scn.size());
+/// ```
 pub mod prelude {
     pub use ssmdst_baselines::{bfs_spanning_tree, fr_mdst, random_spanning_tree};
     pub use ssmdst_core::{build_network, oracle, Config, MdstNode};
     pub use ssmdst_graph::{Graph, GraphBuilder, SpanningTree};
-    pub use ssmdst_scenario::{Scenario, SchedSpec, TopologySpec};
-    pub use ssmdst_sim::{Network, RunOutcome, Runner, Scheduler};
+    pub use ssmdst_scenario::shrink::shrink;
+    pub use ssmdst_scenario::{
+        verify_replay, Predicate, ProtocolSpec, Scenario, ScenarioOutcome, SchedSpec, StopSpec,
+        TopologySpec,
+    };
+    pub use ssmdst_sim::{
+        observe_rounds, quiet_window, stop_when, Network, Observer, QuiescenceGate, RoundTrace,
+        RunOutcome, Runner, ScheduleDigest, Scheduler, Session, SessionBuilder, Stop,
+    };
 }
 
 /// Build the protocol network over `g` and run it to quiescence (or
 /// `max_rounds`), returning the outcome and the runner for inspection —
-/// the shortest path from a graph to a stabilized tree.
+/// the shortest path from a graph to a stabilized tree. A thin wrapper
+/// over [`sim::Session`].
 ///
 /// Quiescence is judged on the oracle projection (parents, `dmax`,
-/// distances) held stable for the canonical [`sim::quiet_window`], the
-/// same detector the experiment harness uses. For fault-injection or
-/// dynamic-topology follow-ups, keep calling into the returned runner:
+/// distances) held stable for the canonical [`sim::quiet_window`] — the
+/// same [`sim::stop::QuiescenceGate`] predicate every driver uses. For
+/// fault-injection or dynamic-topology follow-ups, keep calling into the
+/// returned runner:
 ///
 /// ```
 /// use ssmdst::prelude::*;
@@ -112,12 +191,10 @@ pub fn run(
     sched: sim::Scheduler,
     max_rounds: u64,
 ) -> (sim::RunOutcome, sim::Runner<core::MdstNode>) {
-    let net = core::build_network(g, cfg);
-    let mut runner = sim::Runner::new(net, sched);
-    let out = runner.run_to_quiescence(
-        max_rounds,
-        sim::quiet_window(g.n()),
-        core::oracle::projection,
-    );
-    (out, runner)
+    let mut session = sim::Session::from_network(core::build_network(g, cfg))
+        .scheduler(sched)
+        .horizon(max_rounds)
+        .build();
+    let out = session.run_to_quiescence(sim::quiet_window(g.n()), core::oracle::projection);
+    (out, session.into_runner())
 }

@@ -72,7 +72,7 @@ fn steady_state_traffic_is_bounded() {
     let mut runner = run(&g);
     let before = runner.network().metrics.total_sent;
     let rounds = 100;
-    runner.run_until(rounds, |_, _| false);
+    let _ = runner.run_until(rounds, |_, _| false);
     let per_round = (runner.network().metrics.total_sent - before) / rounds;
     // 2m InfoMsg per round + searches; the cap below is ~6x observed.
     let cap = (2 * g.m() as u64) * 10;
@@ -90,14 +90,14 @@ fn convergence_rounds_scale_sanely() {
         let g = GraphFamily::Grid.generate(9, 1);
         let net = build_network(&g, Config::for_n(g.n()));
         let mut r = Runner::new(net, Scheduler::Synchronous);
-        r.run_to_quiescence(150_000, 64, oracle::projection);
+        let _ = r.run_to_quiescence(150_000, 64, oracle::projection);
         r.round()
     };
     let large = {
         let g = GraphFamily::Grid.generate(36, 1);
         let net = build_network(&g, Config::for_n(g.n()));
         let mut r = Runner::new(net, Scheduler::Synchronous);
-        r.run_to_quiescence(150_000, 6 * 36, oracle::projection);
+        let _ = r.run_to_quiescence(150_000, 6 * 36, oracle::projection);
         r.round()
     };
     assert!(large > small, "{large} vs {small}");

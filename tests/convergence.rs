@@ -85,7 +85,7 @@ fn deterministic_same_seed_same_result() {
     let run = || {
         let net = build_network(&g, Config::for_n(g.n()));
         let mut runner = Runner::new(net, Scheduler::RandomAsync { seed: 42 });
-        runner.run_to_quiescence(150_000, 96, oracle::projection);
+        let _ = runner.run_to_quiescence(150_000, 96, oracle::projection);
         (
             oracle::projection(runner.network()),
             runner.network().metrics.total_sent,

@@ -38,7 +38,9 @@ fn fr_degree(g: &Graph) -> u32 {
 #[test]
 fn corpus_stabilizes_and_matches_fuerer_raghavachari() {
     for scenario in corpus::corpus() {
-        let (out, _) = engine::run(&scenario);
+        // Protocol-generic: MDST rows and flood/echo rows alike go
+        // through the registry dispatch.
+        let out = engine::run_any(&scenario);
 
         if !out.all_ok() {
             let bad: Vec<String> = out
@@ -49,7 +51,7 @@ fn corpus_stabilizes_and_matches_fuerer_raghavachari() {
                 .collect();
             fail_with_repro(
                 &scenario,
-                |s| !engine::run(s).0.all_ok(),
+                |s| !engine::run_any(s).all_ok(),
                 format!(
                     "corpus scenario '{}' failed phases: {}",
                     scenario.name,
@@ -66,7 +68,7 @@ fn corpus_stabilizes_and_matches_fuerer_raghavachari() {
                 fail_with_repro(
                     &scenario,
                     |s| {
-                        let (o, _) = engine::run(s);
+                        let o = engine::run_any(s);
                         match o.final_degree {
                             Some(d) => d > fr_degree(&s.topology.build()) + 1,
                             None => false,

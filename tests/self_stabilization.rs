@@ -59,7 +59,7 @@ fn legitimate_configurations_are_closed() {
     assert!(out.converged());
     let before = oracle::projection(runner.network());
     // Run a long time past convergence: nothing may change.
-    runner.run_until(5_000, |_, _| false);
+    let _ = runner.run_until(5_000, |_, _| false);
     assert_eq!(before, oracle::projection(runner.network()));
     assert!(oracle::is_legitimate(&g, runner.network()));
 }
@@ -93,7 +93,7 @@ fn survives_message_loss_bursts() {
     let net = build_network(&g, Config::for_n(g.n()));
     let mut runner = Runner::new(net, Scheduler::RandomAsync { seed: 2 });
     for _ in 0..5 {
-        runner.run_until(50, |_, _| false);
+        let _ = runner.run_until(50, |_, _| false);
         runner.network_mut().clear_channels();
     }
     let out = runner.run_to_quiescence(150_000, quiet(g.n()), oracle::projection);

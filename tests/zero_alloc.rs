@@ -20,7 +20,7 @@
 //! thread.
 
 use alloc_counter::{allocations_on_this_thread, CountingAllocator};
-use ssmdst::sim::{Automaton, Message, Network, Outbox, Runner, Scheduler};
+use ssmdst::sim::{Automaton, Message, Network, Outbox, Runner, Scheduler, Session};
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator::new();
@@ -89,5 +89,29 @@ fn steady_state_round_loop_is_allocation_free() {
         );
         // The loop really ran: traffic flowed every round.
         assert!(runner.network().metrics.total_delivered > 0);
+
+        // The Session surface with no observers attached is the same
+        // machine code: every `()` observer hook is an empty inlineable
+        // default, so the redesigned driver keeps the guarantee.
+        let g = ssmdst::graph::generators::random::gnp_connected(64, 0.15, 42);
+        let net = Network::from_graph(&g, |_, nbrs| Gossip {
+            neighbors: nbrs.to_vec(),
+            beat: 0,
+            heard: 0,
+        });
+        let mut session = Session::from_network(net).scheduler(sched).build();
+        for _ in 0..50 {
+            let _ = session.step();
+        }
+        let before = allocations_on_this_thread();
+        for _ in 0..100 {
+            let _ = session.step();
+        }
+        let allocs = allocations_on_this_thread() - before;
+        assert_eq!(
+            allocs, 0,
+            "steady-state session rounds allocated {allocs} times under {sched:?}"
+        );
+        assert!(session.network().metrics.total_delivered > 0);
     }
 }
