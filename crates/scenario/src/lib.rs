@@ -40,6 +40,13 @@
 //!   (default `mdst`, omitted from the canonical rendering for full
 //!   backward compatibility). The registered non-MDST workload is the
 //!   simulator's self-stabilizing flood/echo leader election.
+//! * [`mod@mutate`] / [`coverage`] / [`storm`] — the coverage-guided fuzzing
+//!   loop (`ssmdst storm` on the CLI): seed-deterministic mutation
+//!   operators over scenarios, behavioural coverage signatures projected
+//!   from the data the engine already folds, and the storm driver that
+//!   fans mutants over campaign workers, admits only novelty-bearing
+//!   mutants (so the corpus grows itself), and auto-shrinks any judge
+//!   failure into a committable `.scn` reproducer.
 //!
 //! Execution goes through [`ssmdst_sim::Session`] with the engine's
 //! cross-cutting machinery (digest chain, trace records, phase stop
@@ -47,17 +54,23 @@
 
 pub mod campaign;
 pub mod corpus;
+pub mod coverage;
 pub mod engine;
+pub mod mutate;
 pub mod protocol;
 pub mod scn;
 pub mod shrink;
 pub mod spec;
+pub mod storm;
 
 pub use campaign::{run_campaign, CampaignRow};
+pub use coverage::{CoverageMap, Signature};
 pub use engine::{verify_replay, EngineOpts, PhaseOutcome, ScenarioOutcome};
+pub use mutate::{mutate, sanitize, MutationKind};
 pub use protocol::{Flood, Mdst, PhaseJudgment, Protocol};
 pub use shrink::{Predicate, ShrinkStats};
 pub use spec::{
     ConfigSpec, CorruptSpec, EventAction, ProtocolSpec, Scenario, ScenarioEvent, SchedSpec,
     StopSpec, Timing, TopologySpec,
 };
+pub use storm::{Admission, StormConfig, StormFailure, StormReport};

@@ -1,0 +1,481 @@
+//! Seed-deterministic scenario mutation — the storm's search moves.
+//!
+//! Each operator takes a parent [`Scenario`] and produces a *valid* child:
+//! splice/drop/retime churn and fault events, swap the topology family,
+//! daemon, protocol or config variant, toggle the corrupt-at-birth mask,
+//! and stretch/shrink the horizon. All randomness flows from one explicit
+//! seed, so a storm run is replayable: the same `(parent, seed)` pair
+//! always yields the same child.
+//!
+//! Every child passes through [`sanitize`] before it is returned: node ids
+//! in churn events and partition cut lists are clamped into the topology's
+//! live id range, degenerate self-edges are repaired, and `round:R`
+//! timings are clamped into `1..=max_rounds` — so a mutant can never be
+//! unparseable or panic the engine, no matter how the operators compose
+//! (e.g. a topology swap shrinking `n` under an existing cut list, or a
+//! horizon shrink stranding a round-timed event past the cap).
+
+use crate::spec::{
+    ConfigSpec, CorruptSpec, EventAction, ProtocolSpec, Scenario, ScenarioEvent, SchedSpec, Timing,
+    TopologySpec,
+};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use ssmdst_graph::generators::GraphFamily;
+use ssmdst_graph::Graph;
+use ssmdst_sim::{ChurnEvent, NodeId};
+
+/// Smallest horizon a mutation may leave behind. Kept far above typical
+/// small-instance convergence times so a horizon shrink churns the search
+/// space without manufacturing fake "not converged" judge failures.
+pub const MIN_HORIZON: u64 = 5_000;
+
+/// Largest horizon a mutation may stretch to.
+pub const MAX_HORIZON: u64 = 200_000;
+
+/// Node-count band mutants live in: large enough for interesting
+/// structure, small enough that the component-wise exact judge stays fast.
+const MUTANT_N: (usize, usize) = (4, 24);
+
+/// Cap on a mutant's event-plan length, so generations of splices cannot
+/// grow unbounded plans.
+const MAX_EVENTS: usize = 8;
+
+/// The mutation operator vocabulary. Labels are stable identifiers used
+/// in storm reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Insert a churn event (edge remove/insert, crash/rejoin,
+    /// partition/heal) at a random plan position.
+    SpliceChurn,
+    /// Insert a fault burst at a random plan position.
+    SpliceFault,
+    /// Remove one event from the plan.
+    DropEvent,
+    /// Flip one event's timing between `stable` and `round:R`.
+    RetimeEvent,
+    /// Replace the topology with a different family or structured shape.
+    SwapTopology,
+    /// Replace the daemon (kind and seed).
+    SwapDaemon,
+    /// Flip the protocol registry axis.
+    SwapProtocol,
+    /// Replace the protocol-config ablation variant.
+    SwapConfig,
+    /// Add, remove or reseed the corrupt-at-birth mask.
+    ToggleCorrupt,
+    /// Double the per-phase horizon (capped at [`MAX_HORIZON`]).
+    StretchHorizon,
+    /// Halve the per-phase horizon (floored at [`MIN_HORIZON`]).
+    ShrinkHorizon,
+}
+
+impl MutationKind {
+    /// All operators, in stable order.
+    pub fn all() -> &'static [MutationKind] {
+        use MutationKind::*;
+        &[
+            SpliceChurn,
+            SpliceFault,
+            DropEvent,
+            RetimeEvent,
+            SwapTopology,
+            SwapDaemon,
+            SwapProtocol,
+            SwapConfig,
+            ToggleCorrupt,
+            StretchHorizon,
+            ShrinkHorizon,
+        ]
+    }
+
+    /// Stable label used in storm reports and tables.
+    pub fn label(&self) -> &'static str {
+        use MutationKind::*;
+        match self {
+            SpliceChurn => "splice-churn",
+            SpliceFault => "splice-fault",
+            DropEvent => "drop-event",
+            RetimeEvent => "retime-event",
+            SwapTopology => "swap-topology",
+            SwapDaemon => "swap-daemon",
+            SwapProtocol => "swap-protocol",
+            SwapConfig => "swap-config",
+            ToggleCorrupt => "toggle-corrupt",
+            StretchHorizon => "stretch-horizon",
+            ShrinkHorizon => "shrink-horizon",
+        }
+    }
+}
+
+impl std::fmt::Display for MutationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Mutate `parent` under an explicit seed. Deterministic: the same
+/// `(parent, seed)` always yields the same `(operator, child)`. The child
+/// keeps the parent's name (the storm assigns fresh names on admission)
+/// and is always sanitized — it parses, builds and runs.
+pub fn mutate(parent: &Scenario, seed: u64) -> (MutationKind, Scenario) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = parent.topology.build();
+    let ops = MutationKind::all();
+    let start = rng.random_range(0..ops.len());
+    // Rotate through the operator list from a random start until one
+    // applies; SpliceChurn always applies once the plan has room, and
+    // SwapDaemon/SwapProtocol always apply, so the loop terminates.
+    for off in 0..ops.len() {
+        let kind = ops[(start + off) % ops.len()];
+        if let Some(mut child) = apply(kind, parent, &g, &mut rng) {
+            sanitize(&mut child);
+            return (kind, child);
+        }
+    }
+    unreachable!("SwapDaemon applies to every scenario");
+}
+
+/// Try one operator; `None` means it does not apply to this parent (full
+/// or empty event plan, horizon already at its bound, …).
+fn apply(kind: MutationKind, parent: &Scenario, g: &Graph, rng: &mut StdRng) -> Option<Scenario> {
+    let mut s = parent.clone();
+    match kind {
+        MutationKind::SpliceChurn => {
+            if s.events.len() >= MAX_EVENTS {
+                return None;
+            }
+            let ev = random_churn(g, rng);
+            let at = rng.random_range(0..=s.events.len());
+            s.events.insert(
+                at,
+                ScenarioEvent {
+                    timing: random_timing(rng, s.stop.max_rounds),
+                    action: EventAction::Churn(ev),
+                },
+            );
+        }
+        MutationKind::SpliceFault => {
+            if s.events.len() >= MAX_EVENTS {
+                return None;
+            }
+            let at = rng.random_range(0..=s.events.len());
+            s.events.insert(
+                at,
+                ScenarioEvent {
+                    timing: random_timing(rng, s.stop.max_rounds),
+                    action: EventAction::Fault(random_corrupt(rng)),
+                },
+            );
+        }
+        MutationKind::DropEvent => {
+            if s.events.is_empty() {
+                return None;
+            }
+            let at = rng.random_range(0..s.events.len());
+            s.events.remove(at);
+        }
+        MutationKind::RetimeEvent => {
+            if s.events.is_empty() {
+                return None;
+            }
+            let at = rng.random_range(0..s.events.len());
+            s.events[at].timing = match s.events[at].timing {
+                Timing::Stable => Timing::Round(rng.random_range(1..=400u64)),
+                Timing::Round(_) => Timing::Stable,
+            };
+        }
+        MutationKind::SwapTopology => s.topology = random_topology(rng, parent.topology.n_hint()),
+        MutationKind::SwapDaemon => {
+            let seed = rng.random_range(0..1000u64);
+            s.scheduler = match rng.random_range(0..3u32) {
+                0 => SchedSpec::Synchronous,
+                1 => SchedSpec::RandomAsync { seed },
+                _ => SchedSpec::Adversarial { seed },
+            };
+        }
+        MutationKind::SwapProtocol => {
+            s.protocol = match s.protocol {
+                ProtocolSpec::Mdst => ProtocolSpec::FloodEcho,
+                ProtocolSpec::FloodEcho => ProtocolSpec::Mdst,
+            };
+        }
+        MutationKind::SwapConfig => {
+            let all = [
+                ConfigSpec::Default,
+                ConfigSpec::Strict,
+                ConfigSpec::NoDeblock,
+                ConfigSpec::NoBusyLatch,
+            ];
+            s.config = all[rng.random_range(0..all.len())];
+        }
+        MutationKind::ToggleCorrupt => {
+            s.init_corrupt = match s.init_corrupt {
+                Some(_) => None,
+                None => Some(random_corrupt(rng)),
+            };
+        }
+        MutationKind::StretchHorizon => {
+            if s.stop.max_rounds >= MAX_HORIZON {
+                return None;
+            }
+            s.stop.max_rounds = (s.stop.max_rounds * 2).min(MAX_HORIZON);
+        }
+        MutationKind::ShrinkHorizon => {
+            if s.stop.max_rounds <= MIN_HORIZON {
+                return None;
+            }
+            s.stop.max_rounds = (s.stop.max_rounds / 2).max(MIN_HORIZON);
+        }
+    }
+    Some(s)
+}
+
+/// `stable` most of the time, else a mid-flight `round:R` (kept early:
+/// that is where mid-flight faults bite).
+fn random_timing(rng: &mut StdRng, horizon: u64) -> Timing {
+    if rng.random_bool(0.7) {
+        Timing::Stable
+    } else {
+        Timing::Round(rng.random_range(1..=400u64.min(horizon.max(1))))
+    }
+}
+
+/// Fractions drawn from a small grid keep `.scn` renderings tidy; seeds
+/// are free.
+fn random_corrupt(rng: &mut StdRng) -> CorruptSpec {
+    const FRACTIONS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 1.0];
+    const DROPS: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+    CorruptSpec {
+        fraction: FRACTIONS[rng.random_range(0..FRACTIONS.len())],
+        drop: DROPS[rng.random_range(0..DROPS.len())],
+        seed: rng.random_range(0..10_000u64),
+    }
+}
+
+/// One churn event over the *current* topology: edge operands come from
+/// the live edge list where one is needed, node ids from `0..n`.
+fn random_churn(g: &Graph, rng: &mut StdRng) -> ChurnEvent {
+    let n = g.n() as NodeId;
+    let node = |rng: &mut StdRng| rng.random_range(0..n);
+    let edge = |rng: &mut StdRng| g.edges()[rng.random_range(0..g.edges().len())];
+    let cut = |rng: &mut StdRng| -> Vec<(NodeId, NodeId)> {
+        let k = rng.random_range(1..=3usize.min(g.m()));
+        let mut cut: Vec<(NodeId, NodeId)> = (0..k).map(|_| edge(rng)).collect();
+        cut.sort_unstable();
+        cut.dedup();
+        cut
+    };
+    match rng.random_range(0..6u32) {
+        0 => {
+            let (u, v) = edge(rng);
+            ChurnEvent::RemoveEdge(u, v)
+        }
+        1 => {
+            let u = node(rng);
+            let v = node(rng);
+            ChurnEvent::InsertEdge(u, v) // self-pairs repaired by sanitize
+        }
+        2 => ChurnEvent::CrashNode(node(rng)),
+        3 => ChurnEvent::RejoinNode(node(rng)),
+        4 => ChurnEvent::Partition(cut(rng)),
+        _ => ChurnEvent::Heal(cut(rng)),
+    }
+}
+
+/// A fresh topology in the mutant band: any generator family, or one of
+/// the structured/gadget shapes.
+fn random_topology(rng: &mut StdRng, n_hint: usize) -> TopologySpec {
+    let n = n_hint.clamp(MUTANT_N.0, MUTANT_N.1);
+    let families = GraphFamily::all();
+    match rng.random_range(0..5u32) {
+        0 => TopologySpec::family(
+            families[rng.random_range(0..families.len())],
+            n,
+            rng.random_range(0..1000u64),
+        ),
+        1 => TopologySpec::Cycle { n: n.max(3) },
+        2 => TopologySpec::StarRing { n: n.max(4) },
+        3 => TopologySpec::MultiHub {
+            hubs: rng.random_range(2..=3usize),
+            spokes: rng.random_range(3..=5usize),
+        },
+        _ => TopologySpec::CompleteBipartite {
+            a: rng.random_range(2..=4usize),
+            b: rng.random_range(2..=6usize),
+        },
+    }
+}
+
+/// Repair a scenario in place so it parses, builds and runs:
+///
+/// * churn node ids (including every pair of a partition/heal cut list)
+///   are clamped into the topology's id range by `id % n`;
+/// * self-pairs left by clamping (or generated) are repaired to a
+///   neighboring id, and cut lists are deduplicated;
+/// * `round:R` timings are clamped into `1..=max_rounds` so a horizon
+///   shrink can never strand an event past the cap.
+///
+/// Idempotent; [`mutate`] applies it to every child, and the storm applies
+/// it to externally supplied seeds.
+pub fn sanitize(s: &mut Scenario) {
+    let n = s.topology.build().n() as NodeId;
+    let node = |v: NodeId| v % n;
+    let pair = |(u, v): (NodeId, NodeId)| -> (NodeId, NodeId) {
+        let (u, v) = (node(u), node(v));
+        let v = if u == v { (v + 1) % n } else { v };
+        (u.min(v), u.max(v))
+    };
+    let horizon = s.stop.max_rounds;
+    for ev in &mut s.events {
+        if let Timing::Round(r) = ev.timing {
+            ev.timing = Timing::Round(r.clamp(1, horizon));
+        }
+        if let EventAction::Churn(c) = &mut ev.action {
+            match c {
+                ChurnEvent::RemoveEdge(u, v) | ChurnEvent::InsertEdge(u, v) => {
+                    (*u, *v) = pair((*u, *v));
+                }
+                ChurnEvent::CrashNode(v) | ChurnEvent::RejoinNode(v) => *v = node(*v),
+                ChurnEvent::Partition(cut) | ChurnEvent::Heal(cut) => {
+                    for e in cut.iter_mut() {
+                        *e = pair(*e);
+                    }
+                    cut.sort_unstable();
+                    cut.dedup();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus;
+    use crate::scn;
+
+    /// Every event's operands are inside the built topology and every
+    /// round timing is inside the horizon.
+    fn assert_in_range(s: &Scenario) {
+        let n = s.topology.build().n() as NodeId;
+        let ok_pair = |&(u, v): &(NodeId, NodeId)| u < n && v < n && u != v;
+        for ev in &s.events {
+            if let Timing::Round(r) = ev.timing {
+                assert!(r >= 1 && r <= s.stop.max_rounds, "round {r} out of range");
+            }
+            if let EventAction::Churn(c) = &ev.action {
+                match c {
+                    ChurnEvent::RemoveEdge(u, v) | ChurnEvent::InsertEdge(u, v) => {
+                        assert!(ok_pair(&(*u, *v)), "{c} out of range for n={n}")
+                    }
+                    ChurnEvent::CrashNode(v) | ChurnEvent::RejoinNode(v) => {
+                        assert!(*v < n, "{c} out of range for n={n}")
+                    }
+                    ChurnEvent::Partition(cut) | ChurnEvent::Heal(cut) => {
+                        assert!(cut.iter().all(ok_pair), "{c} out of range for n={n}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let parent = corpus::by_name("edge-churn-async").unwrap();
+        let (k1, a) = mutate(&parent, 42);
+        let (k2, b) = mutate(&parent, 42);
+        assert_eq!(k1, k2);
+        assert_eq!(a, b, "same (parent, seed) must yield the same child");
+        let (_, c) = mutate(&parent, 43);
+        // Different seeds overwhelmingly yield different children; this
+        // particular pair does (pinned by determinism above).
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_operator_label_is_stable_and_unique() {
+        let mut labels: Vec<&str> = MutationKind::all().iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), MutationKind::all().len());
+    }
+
+    /// Long mutation chains stay valid: in-range operands, in-horizon
+    /// timings, bounded plans, and `.scn` round trips at every step.
+    #[test]
+    fn mutation_chains_stay_valid() {
+        let mut cur = corpus::by_name("gauntlet-corrupt-churn").unwrap();
+        for seed in 0..60u64 {
+            let (kind, child) = mutate(&cur, seed);
+            assert_in_range(&child);
+            assert!(child.events.len() <= MAX_EVENTS, "{kind}: plan grew");
+            assert!(
+                (MIN_HORIZON..=MAX_HORIZON).contains(&child.stop.max_rounds)
+                    || child.stop.max_rounds == cur.stop.max_rounds,
+                "{kind}: horizon escaped its band"
+            );
+            let parsed = scn::parse(&child.canonical())
+                .unwrap_or_else(|e| panic!("{kind} child fails to parse: {e}"));
+            assert_eq!(parsed, child, "{kind} round trip");
+            cur = child;
+        }
+    }
+
+    /// The negative path the clamp fix covers: a topology swap shrinking
+    /// `n` under an existing cut list, a horizon shrink stranding a
+    /// `round:R` event, and hand-built out-of-range operands — sanitize
+    /// must repair all of them into a parseable, runnable scenario.
+    #[test]
+    fn sanitize_clamps_out_of_range_cuts_and_timings() {
+        let mut s = Scenario::converge(
+            "hostile",
+            TopologySpec::Cycle { n: 5 },
+            SchedSpec::Synchronous,
+            MIN_HORIZON,
+        );
+        s.events = vec![
+            ScenarioEvent {
+                timing: Timing::Round(9_999_999), // far past the horizon
+                action: EventAction::Churn(ChurnEvent::Partition(vec![
+                    (100, 200), // both ids out of range
+                    (7, 7),     // self-pair after any clamp
+                    (0, 1),     // fine
+                    (5, 6),     // clamps onto (0, 1): dedup must collapse
+                ])),
+            },
+            ScenarioEvent {
+                timing: Timing::Round(0), // below the engine's round 1
+                action: EventAction::Churn(ChurnEvent::CrashNode(77)),
+            },
+            ScenarioEvent::stable(EventAction::Churn(ChurnEvent::InsertEdge(3, 3))),
+        ];
+        sanitize(&mut s);
+        assert_in_range(&s);
+        let parsed = scn::parse(&s.canonical()).expect("sanitized scenario parses");
+        assert_eq!(parsed, s);
+        // Sanitize is idempotent.
+        let mut again = s.clone();
+        sanitize(&mut again);
+        assert_eq!(again, s);
+        // And the repaired scenario actually runs end to end.
+        let out = crate::engine::run_any(&s);
+        assert!(!out.phases.is_empty());
+    }
+
+    /// Mutants of every corpus entry build and run a few rounds without
+    /// panicking — the "no unparseable or panicking scenarios" contract
+    /// over the whole seed corpus.
+    #[test]
+    fn corpus_mutants_always_parse() {
+        for parent in corpus::corpus() {
+            for seed in 0..8u64 {
+                let (kind, child) = mutate(&parent, seed);
+                assert_in_range(&child);
+                let parsed = scn::parse(&child.canonical())
+                    .unwrap_or_else(|e| panic!("{} under {kind} fails to parse: {e}", parent.name));
+                assert_eq!(parsed, child);
+            }
+        }
+    }
+}

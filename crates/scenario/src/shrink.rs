@@ -310,4 +310,50 @@ mod tests {
         assert!(shrunk.events.is_empty());
         assert_eq!(shrunk.topology.n_hint(), 3, "cycle minimum");
     }
+
+    /// A minimized scenario is a **fixed point**: running the shrinker on
+    /// its own output must change nothing (no pass finds a smaller still-
+    /// failing variant, so `shrink` returns the input with zero accepted
+    /// candidates — except it returns `None`/identity-stats). This is what
+    /// makes a committed reproducer stable: nobody re-running the shrinker
+    /// on it can "improve" it into a different artifact.
+    #[test]
+    fn shrinker_output_is_a_fixed_point() {
+        let g = GraphFamily::Spider.generate(12, 1);
+        let mut scn = Scenario::converge(
+            "fixpoint",
+            TopologySpec::family(GraphFamily::Spider, 12, 1),
+            SchedSpec::Synchronous,
+            40_000,
+        );
+        scn.init_corrupt = Some(CorruptSpec {
+            fraction: 1.0,
+            drop: 0.0,
+            seed: 3,
+        });
+        scn.events = ssmdst_sim::TopologyPlan::edge_churn(&g, 1, 5)
+            .events
+            .into_iter()
+            .map(|e| ScenarioEvent::stable(EventAction::Churn(e)))
+            .collect();
+
+        let pred = Predicate::DegreeAtLeast(3);
+        let (min1, stats1) = shrink(&scn, |s| pred.test(s)).expect("original fails");
+        assert!(stats1.accepted > 0, "first pass actually shrank something");
+
+        // Re-shrinking the minimum: every candidate the passes propose
+        // passes the predicate, so nothing is accepted and the scenario
+        // comes back unchanged. (Runs are deterministic, so the minimum
+        // still fails and `shrink` cannot return `None`.)
+        let (min2, stats2) = shrink(&min1, |s| pred.test(s)).expect("minimum still fails");
+        assert_eq!(min2, min1, "re-shrinking changed the reproducer");
+        assert_eq!(stats2.accepted, 0, "re-shrink accepted a candidate");
+
+        // And the fixed point survives a `.scn` round trip, so the
+        // *committed* artifact is also a fixed point.
+        let parsed = crate::scn::parse(&min1.canonical()).unwrap();
+        let (min3, stats3) = shrink(&parsed, |s| pred.test(s)).expect("parsed minimum still fails");
+        assert_eq!(min3, parsed);
+        assert_eq!(stats3.accepted, 0);
+    }
 }

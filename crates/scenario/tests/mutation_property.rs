@@ -1,0 +1,98 @@
+//! Property test (satellite of the scenario storm): **every** mutant the
+//! storm can generate is a first-class `.scn` artifact.
+//!
+//! The storm's contract is that an admitted mutant is committable — you
+//! can write it to disk, review it, and replay it forever. That holds iff
+//! the mutation operators only ever produce scenarios whose canonical
+//! `.scn` rendering round-trips through the parser **byte-identically**
+//! (render → parse → re-render is the identity on bytes). Here we drive
+//! [`ssmdst_scenario::mutate`] from every corpus seed with proptest-drawn
+//! mutation seeds and chain depths — including multi-generation chains,
+//! where one operator's output (a swapped topology, a stretched horizon)
+//! becomes another's input — and check the round trip at every step.
+
+use proptest::prelude::*;
+use ssmdst_scenario::{corpus, mutate, scn, MutationKind};
+
+/// Render → parse → re-render must be the identity on bytes, and the
+/// parsed value must equal the mutant structurally.
+fn assert_scn_roundtrip(
+    s: &ssmdst_scenario::Scenario,
+    ctx: &str,
+) -> Result<(), proptest::TestCaseError> {
+    let text = scn::render(s);
+    let parsed = scn::parse(&text)
+        .unwrap_or_else(|e| panic!("{ctx}: mutant failed to parse: {e}\n--- scn ---\n{text}"));
+    prop_assert_eq!(&parsed, s, "{}: parse is not inverse of render", ctx);
+    prop_assert_eq!(
+        scn::render(&parsed),
+        text,
+        "{}: re-render is not byte-identical",
+        ctx
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-step property: any corpus parent, any mutation seed → a
+    /// byte-identical `.scn` round trip.
+    #[test]
+    fn every_mutant_roundtrips_through_scn(
+        parent_idx in 0usize..corpus::corpus().len(),
+        seed in 0u64..1_000_000,
+    ) {
+        let parent = corpus::corpus()[parent_idx].clone();
+        let (kind, child) = mutate(&parent, seed);
+        assert_scn_roundtrip(&child, &format!("op={kind} seed={seed}"))?;
+    }
+
+    /// Generational property: chains of mutations (each mutant becomes
+    /// the next parent, exactly how the storm's corpus grows) round-trip
+    /// at every generation.
+    #[test]
+    fn mutation_chains_roundtrip_at_every_generation(
+        parent_idx in 0usize..corpus::corpus().len(),
+        seed in 0u64..1_000_000,
+        depth in 1usize..12,
+    ) {
+        let mut current = corpus::corpus()[parent_idx].clone();
+        for step in 0..depth {
+            let (kind, child) = mutate(&current, seed.wrapping_add(step as u64));
+            assert_scn_roundtrip(
+                &child,
+                &format!("gen={step} op={kind} seed={seed}"),
+            )?;
+            current = child;
+        }
+    }
+}
+
+/// Deterministic sweep guaranteeing the property test above cannot pass
+/// vacuously: every mutation operator is hit at least once, and each hit
+/// round-trips.
+#[test]
+fn every_operator_is_exercised_and_roundtrips() {
+    let mut hit = std::collections::BTreeSet::new();
+    let parents = corpus::corpus();
+    'outer: for seed in 0u64..100_000 {
+        let parent = &parents[seed as usize % parents.len()];
+        let (kind, child) = mutate(parent, seed);
+        assert_scn_roundtrip(&child, &format!("op={kind} seed={seed}")).unwrap();
+        hit.insert(kind.label());
+        if hit.len() == MutationKind::all().len() {
+            break 'outer;
+        }
+    }
+    assert_eq!(
+        hit.len(),
+        MutationKind::all().len(),
+        "operators never exercised: {:?}",
+        MutationKind::all()
+            .iter()
+            .map(|k| k.label())
+            .filter(|l| !hit.contains(l))
+            .collect::<Vec<_>>()
+    );
+}

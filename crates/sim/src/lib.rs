@@ -68,7 +68,7 @@ pub mod trace;
 
 pub use automaton::{Automaton, Message, Outbox};
 pub use faults::{ChurnEvent, Corrupt, TopologyPlan};
-pub use metrics::{KindStats, Metrics};
+pub use metrics::{log2_bucket, KindStats, Metrics};
 pub use network::Network;
 pub use observer::{
     observe_rounds, stop_when, EveryRound, MetricsTrace, Observer, PhaseLog, RoundTrace,

@@ -10,6 +10,15 @@
 //! distinct literals with equal text. No ordered map, no allocation after
 //! a kind's first appearance.
 
+/// Exponential bucket projection used by coverage signatures: `0` for `0`,
+/// else `floor(log2(x)) + 1` — so `1`, `2..=3`, `4..=7`, … each land in one
+/// stable bucket. Collapsing raw counters this way makes behavioural
+/// signatures insensitive to ±1 message jitter while still separating
+/// order-of-magnitude regime changes.
+pub fn log2_bucket(x: u64) -> u32 {
+    64 - x.leading_zeros()
+}
+
 /// Per-message-kind statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KindStats {
@@ -107,6 +116,16 @@ impl Metrics {
         view.into_iter()
     }
 
+    /// Bucketed per-kind send counts, in lexicographic kind order — the
+    /// messages-by-kind projection coverage signatures fold. Buckets are
+    /// [`log2_bucket`] of the send count, so the projection is stable
+    /// under small count jitter but distinguishes traffic regimes.
+    pub fn kind_buckets(&self) -> Vec<(&'static str, u32)> {
+        self.kinds()
+            .map(|(k, s)| (k, log2_bucket(s.sent)))
+            .collect()
+    }
+
     /// Largest message observed across all kinds (bits).
     pub fn max_message_bits(&self) -> usize {
         self.by_kind
@@ -168,6 +187,28 @@ mod tests {
         assert_eq!(m.total_sent, 0);
         assert_eq!(m.rounds, 0);
         assert_eq!(m.kinds().count(), 0);
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(7), 3);
+        assert_eq!(log2_bucket(8), 4);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn kind_buckets_project_sent_counts() {
+        let mut m = Metrics::new();
+        for _ in 0..5 {
+            m.on_send("Beta", 8);
+        }
+        m.on_send("Alpha", 8);
+        assert_eq!(m.kind_buckets(), vec![("Alpha", 1), ("Beta", 3)]);
     }
 
     #[test]

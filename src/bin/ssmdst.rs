@@ -6,6 +6,7 @@
 //! ssmdst replay failing.scn --trace run.trace
 //! ssmdst replay corrupt-start-total --expect tests/golden/corrupt-start-total.trace
 //! ssmdst shrink failing.scn --pred quality -o minimal.scn
+//! ssmdst storm --seed 1 --execs 1000 --workers 8 --out storm-corpus/
 //! ```
 //!
 //! The flag form generates a workload graph, runs the protocol to
@@ -17,13 +18,18 @@
 //! prints its per-phase outcomes and chained run digest; `--expect FILE`
 //! verifies the run reproduces a recorded trace bit-for-bit, `--trace FILE`
 //! records one. The `shrink` subcommand delta-debugs a failing scenario
-//! down to a minimal reproducer under a named failure predicate.
+//! down to a minimal reproducer under a named failure predicate. The
+//! `storm` subcommand runs the coverage-guided fuzzing loop: mutate corpus
+//! scenarios, fan executions across workers, admit only novelty-bearing
+//! mutants, report execs/sec and corpus growth, and auto-shrink any judge
+//! failure into a committable `.scn` reproducer (exit 1).
 
 use ssmdst::core::oracle;
 use ssmdst::graph::generators::GraphFamily;
 use ssmdst::prelude::*;
-use ssmdst::scenario::{corpus, engine, scn, shrink, Predicate};
+use ssmdst::scenario::{corpus, engine, scn, shrink, storm, Predicate, StormConfig};
 use ssmdst::sim::faults::FaultPlan;
+use ssmdst::sim::parallel::default_workers;
 use ssmdst::sim::RunTrace;
 
 #[derive(Debug)]
@@ -73,6 +79,8 @@ fn parse_args() -> Result<Args, String> {
                      [--dot PATH] [--max-rounds R]\n\
                      \x20      ssmdst replay SCENARIO.scn|CORPUS-NAME [--trace OUT] [--expect GOLDEN]\n\
                      \x20      ssmdst shrink SCENARIO.scn|CORPUS-NAME --pred not-converged|degree-ge:K|quality [-o OUT.scn]\n\
+                     \x20      ssmdst storm [SEED.scn|CORPUS-NAME ...] --seed S --execs N [--workers W] [--batch B]\n\
+                     \x20                   [--max-corpus M] [--fail PRED] [--out DIR] [--expect-admissions K]\n\
                      families: {}",
                     GraphFamily::all()
                         .iter()
@@ -265,12 +273,150 @@ fn cmd_shrink(args: &[String]) -> ! {
     }
 }
 
+/// `ssmdst storm [SEEDS...] --seed S --execs N [--workers W] [--batch B]
+///               [--fail PRED] [--out DIR] [--expect-admissions K]`
+///
+/// Coverage-guided fuzzing over the scenario corpus: mutate, execute,
+/// admit novelty, auto-shrink judge failures. With no seed operands the
+/// committed curated corpus is the seed set.
+fn cmd_storm(args: &[String]) -> ! {
+    let mut seeds_handles: Vec<String> = Vec::new();
+    let mut cfg = StormConfig::new(1, 256);
+    cfg.workers = default_workers();
+    let mut out_dir = None;
+    let mut expect_admissions = 0usize;
+    let parse_or_die = |flag: &str, v: String| -> u64 {
+        v.parse().unwrap_or_else(|e| {
+            eprintln!("error: {flag}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => cfg.seed = parse_or_die(a, flag_value(a, &mut it)),
+            "--execs" => cfg.execs = parse_or_die(a, flag_value(a, &mut it)),
+            "--workers" => cfg.workers = parse_or_die(a, flag_value(a, &mut it)) as usize,
+            "--batch" => cfg.batch = parse_or_die(a, flag_value(a, &mut it)) as usize,
+            "--max-corpus" => cfg.max_corpus = parse_or_die(a, flag_value(a, &mut it)) as usize,
+            "--expect-admissions" => {
+                expect_admissions = parse_or_die(a, flag_value(a, &mut it)) as usize
+            }
+            "--fail" => {
+                cfg.failure = Predicate::parse(&flag_value(a, &mut it)).unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--out" => out_dir = Some(flag_value(a, &mut it)),
+            other if !other.starts_with("--") => seeds_handles.push(other.to_string()),
+            other => {
+                eprintln!("error: unexpected storm argument {other:?}");
+                eprintln!(
+                    "usage: ssmdst storm [SEED.scn|CORPUS-NAME ...] --seed S --execs N \
+                     [--workers W] [--batch B] [--max-corpus M] [--fail PRED] [--out DIR] \
+                     [--expect-admissions K]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let seeds: Vec<Scenario> = if seeds_handles.is_empty() {
+        corpus::corpus()
+    } else {
+        seeds_handles.iter().map(|h| load_scenario(h)).collect()
+    };
+    println!(
+        "storm: seeds={} seed={} execs={} workers={} batch={} failure={}",
+        seeds.len(),
+        cfg.seed,
+        cfg.execs,
+        cfg.workers,
+        cfg.batch,
+        cfg.failure.label()
+    );
+    let report = storm::storm_observed(&seeds, &cfg, |a| {
+        println!(
+            "  admit exec={:<6} op={:<15} parent={:<28} sig={:016x} features+{} -> {}",
+            a.exec,
+            a.kind.label(),
+            a.parent,
+            a.signature,
+            a.new_features,
+            a.scenario.name
+        );
+    });
+    println!(
+        "storm: {} execs in {:.2}s ({:.1} execs/sec)",
+        report.execs,
+        report.elapsed_secs,
+        report.execs_per_sec()
+    );
+    println!(
+        "corpus: {} -> {} (+{} admitted), {} coverage features",
+        report.seeds,
+        report.corpus_size,
+        report.admitted.len(),
+        report.features
+    );
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+            eprintln!("error: creating {dir}: {e}");
+            std::process::exit(2);
+        });
+        for a in &report.admitted {
+            let path = format!("{dir}/{}.scn", a.scenario.name);
+            std::fs::write(&path, a.scenario.canonical()).unwrap_or_else(|e| {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(2);
+            });
+        }
+        println!(
+            "wrote {} admitted .scn files to {dir}",
+            report.admitted.len()
+        );
+    }
+    if let Some(failure) = &report.failure {
+        match failure.exec {
+            Some(exec) => eprintln!(
+                "JUDGE FAILURE at exec {exec} (scenario '{}', predicate {})",
+                failure.scenario.name,
+                cfg.failure.label()
+            ),
+            None => eprintln!(
+                "JUDGE FAILURE in seed scenario '{}' (predicate {})",
+                failure.scenario.name,
+                cfg.failure.label()
+            ),
+        }
+        eprintln!(
+            "minimized: size {} -> {} ({} candidates tried, {} accepted)",
+            failure.scenario.size(),
+            failure.shrunk.size(),
+            failure.stats.attempts,
+            failure.stats.accepted
+        );
+        println!("--- minimal .scn reproducer (save and run `ssmdst replay`) ---");
+        print!("{}", failure.shrunk.canonical());
+        std::process::exit(1);
+    }
+    if report.admitted.len() < expect_admissions {
+        eprintln!(
+            "error: expected at least {expect_admissions} admissions, got {}",
+            report.admitted.len()
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     // Subcommand dispatch; the flag form below is the legacy single-run CLI.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match raw.first().map(String::as_str) {
         Some("replay") => cmd_replay(&raw[1..]),
         Some("shrink") => cmd_shrink(&raw[1..]),
+        Some("storm") => cmd_storm(&raw[1..]),
         _ => {}
     }
     let args = match parse_args() {
