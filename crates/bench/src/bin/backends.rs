@@ -1,0 +1,245 @@
+//! Per-backend speed × exactness table for the round-loop backends.
+//!
+//! ```text
+//! cargo run --release -p ssmdst-bench --bin backends -- --json BENCH_backends.json
+//! ```
+//!
+//! Runs each workload once per execution backend ([`Backend::ALL`]),
+//! chains the full per-round `ScheduleDigest` while timing the loop, and
+//! **asserts in-bench** that every backend's chained digest equals the
+//! reference backend's — a benchmark row is only reportable if the run it
+//! timed was bit-exact. Wall times are the minimum of three repetitions
+//! (the usual defense against scheduler noise). The JSON document uses
+//! the same `"id"`/`"wall_ms"` record shape as `experiments --json`, so
+//! `bench-delta` can diff it against any committed baseline.
+//!
+//! Workloads target the regimes where the backends differ:
+//!
+//! * `bk1` — message-dense gossip on G(n,p): every node floods every
+//!   neighbor every round; per-message slot lookups dominate, the batched
+//!   backend's run-coalescing is on the hot path.
+//! * `bk2` — large-n near-regular gossip: wide occupancy sets; the SoA
+//!   backend's bit-word scan replaces sorting thousands of slot ids.
+//! * `bk3` — the MDST protocol to quiescence and beyond: bursty start,
+//!   long quiet tail of pure ticks; measures backend overhead when there
+//!   is little to batch.
+
+use ssmdst_bench::{json_string, Table};
+use ssmdst_core::{build_network, Config, MdstNode};
+use ssmdst_graph::generators::random::{gnp_connected, near_regular};
+use ssmdst_graph::Graph;
+use ssmdst_sim::{Automaton, Backend, Digest, Message, Network, Outbox, Runner, Scheduler};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct Beat(u32);
+impl Message for Beat {
+    fn kind(&self) -> &'static str {
+        "Beat"
+    }
+    fn size_bits(&self, _n: usize) -> usize {
+        32
+    }
+}
+
+/// Floods a counter to every neighbor each round — the message-dense,
+/// never-quiescing regime (same automaton the zero-alloc guard meters).
+#[derive(Debug)]
+struct Gossip {
+    neighbors: Vec<u32>,
+    beat: u32,
+    heard: u64,
+}
+
+impl Automaton for Gossip {
+    type Msg = Beat;
+    fn tick(&mut self, out: &mut Outbox<Beat>) {
+        self.beat += 1;
+        for &w in &self.neighbors {
+            out.send(w, Beat(self.beat));
+        }
+    }
+    fn receive(&mut self, _from: u32, msg: Beat, _out: &mut Outbox<Beat>) {
+        self.heard += msg.0 as u64;
+    }
+}
+
+struct Measured {
+    wall_ms: u128,
+    digest: u64,
+    delivered: u64,
+}
+
+/// Run `rounds` rounds of a freshly built network under `backend`,
+/// chaining every round's schedule digest. Returns the min wall time of
+/// three repetitions; the digest must be identical across reps (it is a
+/// pure function of the run) and is asserted so.
+fn measure<A: Automaton>(
+    build: impl Fn() -> Network<A>,
+    sched: Scheduler,
+    backend: Backend,
+    rounds: u64,
+) -> Measured {
+    let mut best: Option<Measured> = None;
+    for _ in 0..3 {
+        let mut runner = Runner::new(build(), sched);
+        runner.set_backend(backend);
+        let mut digest = Digest::new();
+        let started = Instant::now();
+        for _ in 0..rounds {
+            runner.step_round_digest(&mut digest);
+        }
+        let wall_ms = started.elapsed().as_millis();
+        let m = Measured {
+            wall_ms,
+            digest: digest.value(),
+            delivered: runner.network().metrics.total_delivered,
+        };
+        best = Some(match best {
+            Some(b) => {
+                assert_eq!(b.digest, m.digest, "digest must not vary across reps");
+                if m.wall_ms < b.wall_ms {
+                    m
+                } else {
+                    b
+                }
+            }
+            None => m,
+        });
+    }
+    best.unwrap()
+}
+
+fn gossip_net(g: &Graph) -> Network<Gossip> {
+    Network::from_graph(g, |_, nbrs| Gossip {
+        neighbors: nbrs.to_vec(),
+        beat: 0,
+        heard: 0,
+    })
+}
+
+fn mdst_net(g: &Graph) -> Network<MdstNode> {
+    build_network(g, Config::for_n(g.n()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => p.clone(),
+            _ => {
+                eprintln!("error: --json requires an output path");
+                std::process::exit(2);
+            }
+        });
+
+    println!("# ssmdst backend benchmark (bit-exactness asserted per row)");
+    let mut json_entries: Vec<String> = Vec::new();
+    let mut table = Table::new(vec![
+        "workload",
+        "backend",
+        "wall_ms",
+        "vs ref",
+        "digest",
+        "delivered",
+    ]);
+
+    // (id, title, closure running one backend)
+    let g1 = gnp_connected(256, 0.06, 11);
+    let g2 = near_regular(2048, 8, 7);
+    let g3 = gnp_connected(96, 0.08, 3);
+    type Run = Box<dyn Fn(Backend) -> Measured>;
+    let workloads: Vec<(&str, &str, Run)> = vec![
+        (
+            "bk1",
+            "BK1 — message-dense gossip, G(256, 0.06), async, 400 rounds",
+            Box::new(move |b| {
+                measure(
+                    || gossip_net(&g1),
+                    Scheduler::RandomAsync { seed: 5 },
+                    b,
+                    400,
+                )
+            }),
+        ),
+        (
+            "bk2",
+            "BK2 — large-n gossip, near-regular(2048, 8), sync, 150 rounds",
+            Box::new(move |b| measure(|| gossip_net(&g2), Scheduler::Synchronous, b, 150)),
+        ),
+        (
+            "bk3",
+            "BK3 — MDST protocol, G(96, 0.08), adversarial, 2000 rounds",
+            Box::new(move |b| {
+                measure(
+                    || mdst_net(&g3),
+                    Scheduler::Adversarial { seed: 9 },
+                    b,
+                    2000,
+                )
+            }),
+        ),
+    ];
+
+    for (id, title, run) in &workloads {
+        println!("\n## {title}");
+        let mut reference: Option<Measured> = None;
+        for backend in Backend::ALL {
+            let started = Instant::now();
+            let m = run(backend);
+            let total_ms = started.elapsed().as_millis();
+            let (ratio, ref_digest) = match &reference {
+                Some(r) => (m.wall_ms as f64 / r.wall_ms.max(1) as f64, r.digest),
+                None => (1.0, m.digest),
+            };
+            // The conformance gate inside the benchmark: a timing row for
+            // a run that was not bit-exact must never be reported.
+            assert_eq!(
+                m.digest, ref_digest,
+                "{id}: backend {backend} diverged from reference digest"
+            );
+            if reference.is_none() {
+                reference = Some(Measured {
+                    wall_ms: m.wall_ms,
+                    digest: m.digest,
+                    delivered: m.delivered,
+                });
+            }
+            println!(
+                "  {backend:<10} wall={:>5}ms ({ratio:.2}x ref) digest={:016x}",
+                m.wall_ms, m.digest
+            );
+            table.row(vec![
+                id.to_string(),
+                backend.to_string(),
+                m.wall_ms.to_string(),
+                format!("{ratio:.2}x"),
+                format!("{:016x}", m.digest),
+                m.delivered.to_string(),
+            ]);
+            json_entries.push(format!(
+                "{{\"id\":{},\"title\":{},\"wall_ms\":{},\"digest\":\"{:016x}\",\"total_ms\":{}}}",
+                json_string(&format!("{id}-{backend}")),
+                json_string(title),
+                m.wall_ms,
+                m.digest,
+                total_ms
+            ));
+        }
+    }
+
+    println!("\n## summary\n");
+    print!("{}", table.render());
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\"suite\":\"ssmdst-backends\",\"profile\":{},\"experiments\":[\n{}\n]}}\n",
+            json_string("default"),
+            json_entries.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -55,7 +55,7 @@ impl Default for EngineOpts {
 
 /// Outcome of one phase (initial convergence, or re-convergence after one
 /// event).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseOutcome {
     /// `initial`, or the label of the event that opened the phase.
     pub label: String,
@@ -81,7 +81,7 @@ pub struct PhaseOutcome {
 }
 
 /// Everything measured from one scenario run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
     /// Scenario name.
     pub name: String,
@@ -223,6 +223,7 @@ pub fn run_protocol<P: Protocol>(
     // horizon.
     let mut session = Session::from_network(proto.build(&g, &scn.config))
         .scheduler(scn.scheduler.scheduler())
+        .backend(scn.backend)
         .observe(Recorder::<P>::new());
 
     if let Some(c) = &scn.init_corrupt {

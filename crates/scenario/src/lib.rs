@@ -73,4 +73,6 @@ pub use spec::{
     ConfigSpec, CorruptSpec, EventAction, ProtocolSpec, Scenario, ScenarioEvent, SchedSpec,
     StopSpec, Timing, TopologySpec,
 };
-pub use storm::{Admission, StormConfig, StormFailure, StormReport};
+pub use storm::{
+    distill, Admission, DistillPick, DistillReport, StormConfig, StormFailure, StormReport,
+};

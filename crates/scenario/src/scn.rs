@@ -21,7 +21,7 @@ use crate::spec::{
     StopSpec, Timing, TopologySpec,
 };
 use ssmdst_graph::generators::GraphFamily;
-use ssmdst_sim::{ChurnEvent, NodeId};
+use ssmdst_sim::{Backend, ChurnEvent, NodeId};
 
 /// Render a scenario in canonical `.scn` form.
 pub fn render(s: &Scenario) -> String {
@@ -33,6 +33,11 @@ pub fn render(s: &Scenario) -> String {
     // their fingerprints and golden traces) stay byte-identical.
     if s.protocol != ProtocolSpec::default() {
         let _ = writeln!(out, "protocol = {}", s.protocol.label());
+    }
+    // Same omission contract for the execution backend: the default
+    // (reference) keeps pre-backend scenario texts byte-identical.
+    if s.backend != Backend::default() {
+        let _ = writeln!(out, "backend = {}", s.backend.label());
     }
     let _ = writeln!(out, "topology = {}", render_topology(&s.topology));
     let _ = writeln!(out, "scheduler = {}", render_scheduler(&s.scheduler));
@@ -166,6 +171,7 @@ pub fn parse_churn(s: &str) -> Result<ChurnEvent, String> {
 pub fn parse(text: &str) -> Result<Scenario, String> {
     let mut name = None;
     let mut protocol = ProtocolSpec::default();
+    let mut backend = Backend::default();
     let mut topology = None;
     let mut scheduler = None;
     let mut config = ConfigSpec::Default;
@@ -191,6 +197,9 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
                 name = Some(value.to_string());
             }
             "protocol" => protocol = ProtocolSpec::parse(value).map_err(ctx)?,
+            // An unknown backend is a listed-options parse error, never a
+            // silent fall-through to the reference loop.
+            "backend" => backend = Backend::parse(value).map_err(ctx)?,
             "topology" => topology = Some(parse_topology(value).map_err(ctx)?),
             "scheduler" => scheduler = Some(parse_scheduler(value).map_err(ctx)?),
             "config" => config = parse_config(value).map_err(ctx)?,
@@ -203,6 +212,7 @@ pub fn parse(text: &str) -> Result<Scenario, String> {
     Ok(Scenario {
         name: name.ok_or("missing name line")?,
         protocol,
+        backend,
         topology: topology.ok_or("missing topology line")?,
         scheduler: scheduler.ok_or("missing scheduler line")?,
         config,
@@ -384,6 +394,7 @@ mod tests {
         Scenario {
             name: "everything".into(),
             protocol: ProtocolSpec::Mdst,
+            backend: Backend::Reference,
             topology: TopologySpec::Family {
                 family: "gnp-sparse".into(),
                 n: 12,
@@ -509,6 +520,17 @@ mod tests {
             "{ok_head}scheduler = sync\ninit = fraction=1.5 drop=0 seed=1\nstop = max-rounds=10 quiet=auto"
         ))
         .is_err());
+        // Unknown backend: a listed-options error, not a silent
+        // fall-through to the reference loop.
+        let err = parse(&format!(
+            "{ok_head}backend = warp\nscheduler = sync\nstop = max-rounds=10 quiet=auto"
+        ))
+        .unwrap_err();
+        assert!(err.contains("\"warp\""), "names the bad backend: {err}");
+        assert!(
+            err.contains("reference") && err.contains("batched") && err.contains("soa"),
+            "lists the options: {err}"
+        );
     }
 
     /// The protocol line round-trips when non-default and is *absent*
@@ -541,6 +563,40 @@ mod tests {
         let explicit = "name = m\nprotocol = mdst\ntopology = path n=4\nscheduler = sync\nstop = max-rounds=100 quiet=auto\n";
         assert_eq!(parse(explicit).unwrap(), mdst);
         assert!(parse("name = x\nprotocol = turbo\ntopology = path n=4\nscheduler = sync\nstop = max-rounds=10 quiet=auto").is_err());
+    }
+
+    /// The backend line round-trips when non-default and is absent when
+    /// default — but unlike `protocol`, the backend is *not* part of the
+    /// replay identity: fingerprints ignore it, because every backend
+    /// must reproduce the identical trace.
+    #[test]
+    fn backend_line_round_trips_and_is_fingerprint_neutral() {
+        let reference = Scenario::converge(
+            "b",
+            TopologySpec::Path { n: 4 },
+            SchedSpec::Synchronous,
+            100,
+        );
+        let text = render(&reference);
+        assert!(!text.contains("backend ="), "default must be omitted");
+        assert_eq!(parse(&text).unwrap().backend, Backend::Reference);
+
+        for b in [Backend::Batched, Backend::Soa] {
+            let mut s = reference.clone();
+            s.backend = b;
+            let text = render(&s);
+            assert!(text.contains(&format!("backend = {}", b.label())), "{text}");
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed, s);
+            assert_eq!(
+                s.fingerprint(),
+                reference.fingerprint(),
+                "backend is a mechanism, not replay identity"
+            );
+        }
+        // Explicit `backend = reference` parses but is not canonical.
+        let explicit = "name = b\nbackend = reference\ntopology = path n=4\nscheduler = sync\nstop = max-rounds=100 quiet=auto\n";
+        assert_eq!(parse(explicit).unwrap(), reference);
     }
 
     #[test]

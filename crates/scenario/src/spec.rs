@@ -9,7 +9,7 @@
 use ssmdst_graph::generators::{gadgets, structured, GraphFamily};
 use ssmdst_graph::Graph;
 use ssmdst_sim::faults::FaultPlan;
-use ssmdst_sim::{ChurnEvent, Digest, Scheduler};
+use ssmdst_sim::{Backend, ChurnEvent, Digest, Scheduler};
 
 /// How the workload graph is generated. Every variant is deterministic
 /// (seeded where random) and serializable.
@@ -330,6 +330,13 @@ pub struct Scenario {
     pub name: String,
     /// Which registered protocol the scenario drives.
     pub protocol: ProtocolSpec,
+    /// Which round-loop execution backend runs the scenario. Part of the
+    /// scenario *data* (rendered in `.scn`, default omitted) but **not**
+    /// part of the replay identity: every backend is required to produce
+    /// the bit-identical trace, so [`Scenario::fingerprint`] deliberately
+    /// ignores it — a trace recorded on any backend verifies against the
+    /// same scenario run on any other.
+    pub backend: Backend,
     /// Workload topology.
     pub topology: TopologySpec,
     /// Daemon.
@@ -357,6 +364,7 @@ impl Scenario {
         Scenario {
             name: name.into(),
             protocol: ProtocolSpec::default(),
+            backend: Backend::default(),
             topology,
             scheduler,
             config: ConfigSpec::Default,
@@ -383,10 +391,20 @@ impl Scenario {
 
     /// Digest of the canonical `.scn` text — the identity recorded in
     /// traces so a golden trace can't silently be replayed against an
-    /// edited scenario.
+    /// edited scenario. The execution backend is digested *out*: it is a
+    /// mechanism choice, not an execution identity (the conformance
+    /// ladder requires every backend to reproduce the reference trace
+    /// bit-for-bit), so cross-backend trace comparison — the strongest
+    /// conformance statement the harness makes — works directly.
     pub fn fingerprint(&self) -> u64 {
         let mut d = Digest::new();
-        d.write_bytes(self.canonical().as_bytes());
+        if self.backend == Backend::default() {
+            d.write_bytes(self.canonical().as_bytes());
+        } else {
+            let mut neutral = self.clone();
+            neutral.backend = Backend::default();
+            d.write_bytes(neutral.canonical().as_bytes());
+        }
         d.value()
     }
 

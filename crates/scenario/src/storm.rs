@@ -230,6 +230,79 @@ pub fn storm(seeds: &[Scenario], cfg: &StormConfig) -> StormReport {
     storm_observed(seeds, cfg, |_| {})
 }
 
+/// One scenario the distiller kept, with the coverage it was kept *for*.
+#[derive(Debug, Clone)]
+pub struct DistillPick {
+    /// The kept scenario.
+    pub scenario: Scenario,
+    /// Features this pick newly covered at selection time (its greedy
+    /// gain; the picks' gains sum to the total feature count).
+    pub gain: usize,
+}
+
+/// Result of a corpus distillation.
+#[derive(Debug, Clone)]
+pub struct DistillReport {
+    /// Candidate scenarios considered.
+    pub candidates: usize,
+    /// Distinct coverage features observed across all candidates.
+    pub features: usize,
+    /// The minimal covering subset, in greedy selection order.
+    pub selected: Vec<DistillPick>,
+}
+
+/// Distill a scenario corpus down to a greedy minimal subset that still
+/// covers **every** coverage feature the full corpus observes.
+///
+/// Every candidate is executed (in input order over `workers` campaign
+/// threads — [`run_many`] preserves order, so worker count never changes
+/// the result) and projected onto its [`Signature`]. The classic greedy
+/// set-cover heuristic then repeatedly keeps the candidate covering the
+/// most still-uncovered features, ties broken toward the earliest
+/// candidate, until nothing is uncovered. Fully deterministic: the same
+/// candidate list yields the same subset, run to run and across worker
+/// counts.
+pub fn distill(candidates: &[Scenario], workers: usize) -> DistillReport {
+    let outs = run_many(candidates.to_vec(), workers, engine::run_any);
+    let sigs: Vec<Signature> = outs.iter().map(Signature::of).collect();
+    let mut uncovered: std::collections::HashSet<u64> = sigs
+        .iter()
+        .flat_map(|s| s.features().iter().copied())
+        .collect();
+    let features = uncovered.len();
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut selected = Vec::new();
+    while !uncovered.is_empty() {
+        // Strictly-greater comparison over ascending candidate indices:
+        // ties go to the earliest candidate, deterministically.
+        let mut best: Option<(usize, usize)> = None; // (gain, position)
+        for (pos, &i) in remaining.iter().enumerate() {
+            let gain = sigs[i]
+                .features()
+                .iter()
+                .filter(|f| uncovered.contains(f))
+                .count();
+            if gain > 0 && best.map_or(true, |(g, _)| gain > g) {
+                best = Some((gain, pos));
+            }
+        }
+        let (gain, pos) = best.expect("uncovered features all came from some candidate");
+        let i = remaining.remove(pos);
+        for f in sigs[i].features() {
+            uncovered.remove(f);
+        }
+        selected.push(DistillPick {
+            scenario: candidates[i].clone(),
+            gain,
+        });
+    }
+    DistillReport {
+        candidates: candidates.len(),
+        features,
+        selected,
+    }
+}
+
 /// Delta-debug a failing scenario into a minimal verified reproducer.
 fn minimize(scn: &Scenario, pred: Predicate, exec: Option<u64>) -> StormFailure {
     let (shrunk, stats) = shrink::shrink(scn, |s| pred.test(s))
@@ -374,6 +447,52 @@ mod tests {
             // degree 3 in 64 execs. The run must then have completed.
             assert_eq!(report.execs, 64);
         }
+    }
+
+    /// Distillation covers every observed feature with a (possibly much)
+    /// smaller subset, and is deterministic across repeated runs and
+    /// worker counts — the same candidates always distill to the same
+    /// picks in the same order.
+    #[test]
+    fn distill_covers_all_features_deterministically() {
+        // Seeds plus a storm's admissions: a corpus with real redundancy.
+        let cfg = StormConfig::new(7, 10);
+        let report = storm(&seeds(), &cfg);
+        let mut candidates = seeds();
+        candidates.extend(report.admitted.iter().map(|a| a.scenario.clone()));
+
+        let a = distill(&candidates, 1);
+        let b = distill(&candidates, 1);
+        let par = distill(&candidates, 4);
+        assert_eq!(a.candidates, candidates.len());
+        assert!(a.features > 0);
+        assert!(!a.selected.is_empty());
+        assert!(a.selected.len() <= a.candidates);
+        // Greedy gains partition the feature set exactly.
+        assert_eq!(a.selected.iter().map(|p| p.gain).sum::<usize>(), a.features);
+        // Gains are non-increasing in selection order (greedy invariant).
+        for w in a.selected.windows(2) {
+            assert!(w[0].gain >= w[1].gain);
+        }
+        for other in [&b, &par] {
+            assert_eq!(a.features, other.features);
+            assert_eq!(a.selected.len(), other.selected.len());
+            for (x, y) in a.selected.iter().zip(&other.selected) {
+                assert_eq!(x.scenario, y.scenario, "distill determinism");
+                assert_eq!(x.gain, y.gain);
+            }
+        }
+        // Re-running the distilled subset alone re-observes every feature.
+        let outs = run_many(
+            a.selected.iter().map(|p| p.scenario.clone()).collect(),
+            1,
+            engine::run_any,
+        );
+        let mut map = CoverageMap::new();
+        for out in &outs {
+            map.observe(&Signature::of(out));
+        }
+        assert_eq!(map.len(), a.features, "subset still covers everything");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Execution backends: swappable implementations of the round loop's
+//! hot path (obligation derivation + schedule execution).
+//!
+//! Every backend must produce the **bit-identical execution** — the same
+//! obligations, keyed by the same scheduler `KeySource` draws in
+//! the same canonical enumeration order (ticks ascending by node id, then
+//! deliveries ascending by slot id), executed in the same ascending
+//! `(key, enumeration index)` order. The scheduler key stream is stateful
+//! (the random daemon draws once per key request), so enumeration order is
+//! not a convention but a correctness contract: request keys in a
+//! different order and every subsequent draw shifts.
+//!
+//! What a backend *may* change is how the obligations are derived and how
+//! the sorted batch is executed:
+//!
+//! * [`Backend::Reference`] — the historical event-driven loop: scratch
+//!   snapshots of the incremental indices, per-delivery `(from, to)` →
+//!   slot binary search at execution time. The oracle all others are
+//!   measured against.
+//! * [`Backend::Batched`] — batched message dispatch: the schedule carries
+//!   each delivery's channel slot, so execution walks runs of
+//!   same-slot deliveries and pops the channel directly — no per-message
+//!   address re-resolution, one occupancy transition per run.
+//! * [`Backend::Soa`] — struct-of-arrays obligation projection: the tick
+//!   and occupancy indices are mirrored into flat `u64` bit-words
+//!   (64 nodes / slots per word), and the sorted enumeration falls out of
+//!   an ascending word scan instead of comparison-sorting scratch
+//!   vectors. Pre-stages the flattened-state layout the future sharded
+//!   loop needs. Executes through the same slot-batched path as
+//!   [`Backend::Batched`].
+//!
+//! Conformance is enforced by a ladder (unit equivalence tests here,
+//! golden traces, the full `.scn` corpus, and a storm-mutant sweep in
+//! `tests/backend_conformance.rs`), with divergence measured by the
+//! chained [`crate::ScheduleDigest`] — see `BACKEND_EVALUATION.md` at the
+//! workspace root.
+
+use std::fmt;
+
+/// Which round-loop implementation a [`crate::Runner`] uses. The choice
+/// affects speed only; every backend is required to produce byte-identical
+/// schedules and digests (enforced by the conformance ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The historical event-driven loop — the conformance oracle.
+    #[default]
+    Reference,
+    /// Slot-carrying schedule + run-batched channel dispatch.
+    Batched,
+    /// Bit-word (struct-of-arrays) obligation projection.
+    Soa,
+}
+
+impl Backend {
+    /// Every registered backend, reference first — the iteration order of
+    /// the conformance ladder.
+    pub const ALL: [Backend; 3] = [Backend::Reference, Backend::Batched, Backend::Soa];
+
+    /// Stable lowercase label, used by `.scn` files and `--backend`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Reference => "reference",
+            Backend::Batched => "batched",
+            Backend::Soa => "soa",
+        }
+    }
+
+    /// Parse a label; unknown names are an error that lists the options
+    /// (never a silent fall-through to the reference backend).
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "reference" => Ok(Backend::Reference),
+            "batched" => Ok(Backend::Batched),
+            "soa" => Ok(Backend::Soa),
+            other => Err(format!(
+                "unknown backend {other:?} (reference | batched | soa)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::parse(b.label()), Ok(b));
+            assert_eq!(b.to_string(), b.label());
+        }
+    }
+
+    #[test]
+    fn default_is_reference() {
+        assert_eq!(Backend::default(), Backend::Reference);
+    }
+
+    #[test]
+    fn unknown_label_lists_the_options() {
+        let err = Backend::parse("sharded").unwrap_err();
+        assert!(err.contains("\"sharded\""), "names the bad input: {err}");
+        for b in Backend::ALL {
+            assert!(err.contains(b.label()), "lists {}: {err}", b.label());
+        }
+    }
+}

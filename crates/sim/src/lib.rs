@@ -52,6 +52,7 @@
 //! [`stop::QuiescenceGate`], shared by every driver.
 
 pub mod automaton;
+pub mod backend;
 pub(crate) mod dense;
 pub(crate) mod events;
 pub mod faults;
@@ -67,6 +68,7 @@ pub mod stop;
 pub mod trace;
 
 pub use automaton::{Automaton, Message, Outbox};
+pub use backend::Backend;
 pub use faults::{ChurnEvent, Corrupt, TopologyPlan};
 pub use metrics::{log2_bucket, KindStats, Metrics};
 pub use network::Network;

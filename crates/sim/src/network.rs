@@ -266,6 +266,14 @@ impl<A: Automaton> Network<A> {
         out.extend_from_slice(self.occ.members());
     }
 
+    /// Direct view of the occupancy index's member list (engine-internal,
+    /// unordered, zero-copy) — the SoA backend scatters this into its
+    /// bit-words without a scratch snapshot.
+    #[inline]
+    pub(crate) fn occupied_slot_members(&self) -> &[u32] {
+        self.occ.members()
+    }
+
     /// Endpoints of a live slot (engine-internal, O(1)).
     #[inline]
     pub(crate) fn slot_endpoints(&self, s: u32) -> (NodeId, NodeId) {
@@ -351,6 +359,38 @@ impl<A: Automaton> Network<A> {
         self.route(to, &mut out);
         self.outbox = out;
         true
+    }
+
+    /// Deliver `k` consecutive messages from channel `slot` — the batched
+    /// form of [`Network::deliver_one`] used by the slot-carrying
+    /// backends. The address is already resolved (no `(from, to)` binary
+    /// search per message), and the empty-transition check runs once at
+    /// the end of the run instead of after every pop. Everything
+    /// observable is sequenced exactly as `k` `deliver_one` calls:
+    /// per-message `in_flight` decrement before routing (so
+    /// `peak_in_flight` matches), per-message dirty-marking, FIFO order.
+    /// Deferring the occupancy removal is sound because the receiver `to`
+    /// only sends on `to → x` slots, never on `from → to` itself, so this
+    /// slot's queue is only popped during its own run; earlier runs of
+    /// *other* slots may still have pushed into it, hence the emptiness
+    /// check rather than an unconditional removal.
+    pub(crate) fn deliver_run(&mut self, slot: u32, k: usize) {
+        let (from, to) = self.slot_ends[slot as usize];
+        for _ in 0..k {
+            let msg = self.channels[slot as usize]
+                .pop_front()
+                .expect("delivery run over-popped its channel");
+            self.in_flight -= 1;
+            self.metrics.on_deliver(msg.kind());
+            let mut out = std::mem::take(&mut self.outbox);
+            self.nodes[to as usize].receive(from, msg, &mut out);
+            self.mark_dirty(to);
+            self.route(to, &mut out);
+            self.outbox = out;
+        }
+        if self.channels[slot as usize].is_empty() {
+            self.occ.remove(slot);
+        }
     }
 
     /// Move an outbox into channels, enforcing locality and recording

@@ -1,7 +1,8 @@
 //! The run loop: the event-driven engine, rounds, convergence detection.
 
 use crate::automaton::Automaton;
-use crate::events::EventQueue;
+use crate::backend::Backend;
+use crate::events::{EventQueue, PendingSlot};
 use crate::network::Network;
 use crate::observer::{Observer, Stop};
 use crate::scheduler::{Action, KeySource, Scheduler};
@@ -99,17 +100,33 @@ pub struct Runner<A: Automaton> {
     keys: KeySource,
     queue: EventQueue,
     round: u64,
+    backend: Backend,
 }
 
 impl<A: Automaton> Runner<A> {
-    /// Wrap a network with a scheduler.
+    /// Wrap a network with a scheduler (on the [`Backend::Reference`]
+    /// round loop).
     pub fn new(net: Network<A>, sched: Scheduler) -> Self {
         Runner {
             net,
             keys: KeySource::new(sched),
             queue: EventQueue::new(),
             round: 0,
+            backend: Backend::Reference,
         }
+    }
+
+    /// Switch the round-loop backend. Safe at any round boundary — every
+    /// backend derives the identical schedule from the same incremental
+    /// indices, so execution is bit-for-bit unchanged (the conformance
+    /// ladder enforces it); only the hot-path cost profile differs.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// The active round-loop backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The wrapped network (for oracles and metrics).
@@ -146,11 +163,33 @@ impl<A: Automaton> Runner<A> {
     pub fn step_round_observed<O: Observer<A>>(&mut self, obs: &mut O) -> Stop {
         obs.on_round_start(&self.net, self.round);
         self.queue.refresh(&mut self.net);
-        let events = self.queue.schedule(self.round, &mut self.keys, &self.net);
-        for &(key, idx, act) in events {
-            obs.on_event(key, idx, act);
+        match self.backend {
+            Backend::Reference => {
+                let events = self.queue.schedule(self.round, &mut self.keys, &self.net);
+                for &(key, idx, act) in events {
+                    obs.on_event(key, idx, act);
+                }
+                Self::execute(&mut self.net, events);
+            }
+            Backend::Batched => {
+                let events = self
+                    .queue
+                    .schedule_batched(self.round, &mut self.keys, &self.net);
+                for &(key, idx, act, _) in events {
+                    obs.on_event(key, idx, act);
+                }
+                Self::execute_slotted(&mut self.net, events);
+            }
+            Backend::Soa => {
+                let events = self
+                    .queue
+                    .schedule_soa(self.round, &mut self.keys, &self.net);
+                for &(key, idx, act, _) in events {
+                    obs.on_event(key, idx, act);
+                }
+                Self::execute_slotted(&mut self.net, events);
+            }
         }
-        Self::execute(&mut self.net, events);
         self.round += 1;
         self.net.metrics.rounds = self.round;
         obs.on_round_end(&self.net, self.round)
@@ -205,6 +244,35 @@ impl<A: Automaton> Runner<A> {
                     // message: deliveries only pop and FIFO keeps order.
                     let ok = net.deliver_one(from, to);
                     debug_assert!(ok, "obligation for empty channel {from}->{to}");
+                }
+            }
+        }
+    }
+
+    /// Execute a slot-carrying schedule (batched and SoA backends): ticks
+    /// keep the per-event guard re-check; consecutive same-slot deliveries
+    /// collapse into one [`Network::deliver_run`] call, so the channel
+    /// address is resolved zero times (the schedule carries it) instead of
+    /// once per message.
+    fn execute_slotted(net: &mut Network<A>, events: &[PendingSlot]) {
+        let mut i = 0;
+        while i < events.len() {
+            let (_, _, act, slot) = events[i];
+            match act {
+                Action::Tick(v) => {
+                    // Same execution-time guard re-check as `execute`.
+                    if net.is_alive(v) && net.node(v).enabled() {
+                        net.tick_node(v);
+                    }
+                    i += 1;
+                }
+                Action::Deliver(..) => {
+                    let mut j = i + 1;
+                    while j < events.len() && events[j].3 == slot {
+                        j += 1;
+                    }
+                    net.deliver_run(slot, j - i);
+                    i = j;
                 }
             }
         }
@@ -410,6 +478,70 @@ mod tests {
                 "engines diverged under {sched:?}"
             );
         }
+    }
+
+    /// Every backend must execute the bit-identical run: same per-round
+    /// schedule digest, same node states, same metrics — including across
+    /// mid-run churn (slot recycling) and fault injection, and including
+    /// switching backends at a round boundary mid-run.
+    #[test]
+    fn all_backends_execute_identically() {
+        use crate::backend::Backend;
+        let run = |backend: Backend, sched: Scheduler| {
+            let mut d = crate::trace::Digest::new();
+            let mut r = Runner::new(min_net(9), sched);
+            r.set_backend(backend);
+            for round in 0..40 {
+                if round == 12 {
+                    r.network_mut().remove_edge(3, 4);
+                    r.network_mut().insert_edge(0, 4); // recycles slots
+                }
+                if round == 20 {
+                    r.network_mut().crash_node(7);
+                }
+                if round == 28 {
+                    r.network_mut().rejoin_node(7);
+                }
+                r.step_round_digest(&mut d);
+            }
+            let vals: Vec<u32> = r.network().nodes().iter().map(|a| a.value).collect();
+            (
+                d.value(),
+                vals,
+                r.network().in_flight(),
+                r.network().metrics.total_sent,
+                r.network().metrics.peak_in_flight,
+            )
+        };
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::RandomAsync { seed: 21 },
+            Scheduler::Adversarial { seed: 21 },
+        ] {
+            let reference = run(Backend::Reference, sched);
+            for b in [Backend::Batched, Backend::Soa] {
+                assert_eq!(reference, run(b, sched), "{b} diverged under {sched:?}");
+            }
+        }
+        // Switching backends between rounds changes nothing either.
+        let mut d = crate::trace::Digest::new();
+        let sched = Scheduler::RandomAsync { seed: 21 };
+        let mut r = Runner::new(min_net(9), sched);
+        for round in 0..40 {
+            r.set_backend(crate::backend::Backend::ALL[round % 3]);
+            if round == 12 {
+                r.network_mut().remove_edge(3, 4);
+                r.network_mut().insert_edge(0, 4);
+            }
+            if round == 20 {
+                r.network_mut().crash_node(7);
+            }
+            if round == 28 {
+                r.network_mut().rejoin_node(7);
+            }
+            r.step_round_digest(&mut d);
+        }
+        assert_eq!(d.value(), run(Backend::Reference, sched).0);
     }
 
     /// A tick whose `enabled()` guard is falsified *mid-round* (by a

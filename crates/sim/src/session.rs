@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 use crate::automaton::Automaton;
+use crate::backend::Backend;
 use crate::faults::{apply_churn, inject, ChurnEvent, Corrupt, FaultPlan};
 use crate::network::Network;
 use crate::observer::{Observer, Stop};
@@ -62,12 +63,21 @@ pub struct SessionBuilder<A: Automaton> {
     sched: Scheduler,
     horizon: u64,
     plan: Vec<(u64, ChurnEvent)>,
+    backend: Backend,
 }
 
 impl<A: Automaton> SessionBuilder<A> {
     /// Choose the daemon (default: [`Scheduler::Synchronous`]).
     pub fn scheduler(mut self, sched: Scheduler) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Choose the round-loop execution backend (default:
+    /// [`Backend::Reference`]). Every backend is required to produce the
+    /// bit-identical execution — the choice trades hot-path cost only.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -108,8 +118,10 @@ impl<A: Automaton> SessionBuilder<A> {
     /// nested tuple of them).
     pub fn observe<O: Observer<A>>(mut self, obs: O) -> Session<A, O> {
         self.plan.sort_by_key(|&(at, _)| at);
+        let mut runner = Runner::new(self.net, self.sched);
+        runner.set_backend(self.backend);
         Session {
-            runner: Runner::new(self.net, self.sched),
+            runner,
             obs,
             horizon: self.horizon,
             plan: self.plan,
@@ -159,6 +171,7 @@ impl<A: Automaton> Session<A, ()> {
             sched: Scheduler::Synchronous,
             horizon: Self::DEFAULT_HORIZON,
             plan: Vec::new(),
+            backend: Backend::Reference,
         }
     }
 

@@ -41,6 +41,7 @@ struct Args {
     corrupt: f64,
     dot: Option<String>,
     max_rounds: u64,
+    backend: Backend,
 }
 
 impl Default for Args {
@@ -53,6 +54,7 @@ impl Default for Args {
             corrupt: 0.0,
             dot: None,
             max_rounds: 500_000,
+            backend: Backend::Reference,
         }
     }
 }
@@ -72,15 +74,18 @@ fn parse_args() -> Result<Args, String> {
             "--max-rounds" => {
                 args.max_rounds = val()?.parse().map_err(|e| format!("--max-rounds: {e}"))?
             }
+            // Unknown backends are a listed-options parse error, never a
+            // silent fall-through to the reference loop.
+            "--backend" => args.backend = Backend::parse(&val()?)?,
             "--help" | "-h" => {
                 println!(
                     "usage: ssmdst [--family NAME] [--n N] [--seed S] \
                      [--scheduler sync|async|adversarial] [--corrupt FRAC] \
-                     [--dot PATH] [--max-rounds R]\n\
-                     \x20      ssmdst replay SCENARIO.scn|CORPUS-NAME [--trace OUT] [--expect GOLDEN]\n\
+                     [--dot PATH] [--max-rounds R] [--backend reference|batched|soa]\n\
+                     \x20      ssmdst replay SCENARIO.scn|CORPUS-NAME [--trace OUT] [--expect GOLDEN] [--backend B]\n\
                      \x20      ssmdst shrink SCENARIO.scn|CORPUS-NAME --pred not-converged|degree-ge:K|quality [-o OUT.scn]\n\
                      \x20      ssmdst storm [SEED.scn|CORPUS-NAME ...] --seed S --execs N [--workers W] [--batch B]\n\
-                     \x20                   [--max-corpus M] [--fail PRED] [--out DIR] [--expect-admissions K]\n\
+                     \x20                   [--max-corpus M] [--fail PRED] [--out DIR] [--expect-admissions K] [--distill]\n\
                      families: {}",
                     GraphFamily::all()
                         .iter()
@@ -131,16 +136,27 @@ fn flag_value(flag: &str, it: &mut std::slice::Iter<String>) -> String {
     }
 }
 
-/// `ssmdst replay SCENARIO [--trace OUT] [--expect GOLDEN]`
+/// `ssmdst replay SCENARIO [--trace OUT] [--expect GOLDEN] [--backend B]`
 fn cmd_replay(args: &[String]) -> ! {
     let mut handle = None;
     let mut trace_out = None;
     let mut expect = None;
+    let mut backend = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace" => trace_out = Some(flag_value("--trace", &mut it)),
             "--expect" => expect = Some(flag_value("--expect", &mut it)),
+            "--backend" => {
+                // Listed-options error; an unknown backend must never
+                // silently fall through to the reference loop.
+                backend = Some(
+                    Backend::parse(&flag_value("--backend", &mut it)).unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }),
+                )
+            }
             other if !other.starts_with("--") && handle.is_none() => {
                 handle = Some(other.to_string())
             }
@@ -151,15 +167,24 @@ fn cmd_replay(args: &[String]) -> ! {
         }
     }
     let Some(handle) = handle else {
-        eprintln!("usage: ssmdst replay SCENARIO.scn|CORPUS-NAME [--trace OUT] [--expect GOLDEN]");
+        eprintln!(
+            "usage: ssmdst replay SCENARIO.scn|CORPUS-NAME [--trace OUT] [--expect GOLDEN] \
+             [--backend reference|batched|soa]"
+        );
         std::process::exit(2);
     };
-    let scenario = load_scenario(&handle);
+    let mut scenario = load_scenario(&handle);
+    if let Some(b) = backend {
+        // The backend is a mechanism, not replay identity: overriding it
+        // leaves the fingerprint (and thus --expect comparisons) intact.
+        scenario.backend = b;
+    }
     let (out, trace) = engine::run_traced_any(&scenario);
     println!(
-        "scenario: {} (protocol={} n={} m={} fingerprint={:016x})",
+        "scenario: {} (protocol={} backend={} n={} m={} fingerprint={:016x})",
         scenario.name,
         scenario.protocol.label(),
+        scenario.backend,
         out.n,
         out.m,
         scenario.fingerprint()
@@ -274,17 +299,21 @@ fn cmd_shrink(args: &[String]) -> ! {
 }
 
 /// `ssmdst storm [SEEDS...] --seed S --execs N [--workers W] [--batch B]
-///               [--fail PRED] [--out DIR] [--expect-admissions K]`
+///               [--fail PRED] [--out DIR] [--expect-admissions K] [--distill]`
 ///
 /// Coverage-guided fuzzing over the scenario corpus: mutate, execute,
 /// admit novelty, auto-shrink judge failures. With no seed operands the
-/// committed curated corpus is the seed set.
+/// committed curated corpus is the seed set. With `--distill` the final
+/// corpus (seeds + admissions) is greedily reduced to a minimal subset
+/// covering every observed coverage feature, and `--out` receives the
+/// distilled subset instead of the raw admissions.
 fn cmd_storm(args: &[String]) -> ! {
     let mut seeds_handles: Vec<String> = Vec::new();
     let mut cfg = StormConfig::new(1, 256);
     cfg.workers = default_workers();
     let mut out_dir = None;
     let mut expect_admissions = 0usize;
+    let mut do_distill = false;
     let parse_or_die = |flag: &str, v: String| -> u64 {
         v.parse().unwrap_or_else(|e| {
             eprintln!("error: {flag}: {e}");
@@ -309,13 +338,14 @@ fn cmd_storm(args: &[String]) -> ! {
                 })
             }
             "--out" => out_dir = Some(flag_value(a, &mut it)),
+            "--distill" => do_distill = true,
             other if !other.starts_with("--") => seeds_handles.push(other.to_string()),
             other => {
                 eprintln!("error: unexpected storm argument {other:?}");
                 eprintln!(
                     "usage: ssmdst storm [SEED.scn|CORPUS-NAME ...] --seed S --execs N \
                      [--workers W] [--batch B] [--max-corpus M] [--fail PRED] [--out DIR] \
-                     [--expect-admissions K]"
+                     [--expect-admissions K] [--distill]"
                 );
                 std::process::exit(2);
             }
@@ -359,22 +389,51 @@ fn cmd_storm(args: &[String]) -> ! {
         report.admitted.len(),
         report.features
     );
+    // Distill after a clean storm: greedy minimal subset of the final
+    // corpus (seeds + admissions) still covering every observed feature.
+    let distilled = if do_distill && report.failure.is_none() {
+        let mut candidates = seeds.clone();
+        candidates.extend(report.admitted.iter().map(|a| a.scenario.clone()));
+        let d = storm::distill(&candidates, cfg.workers);
+        println!(
+            "distilled: {} candidates, {} features -> {} scenarios",
+            d.candidates,
+            d.features,
+            d.selected.len()
+        );
+        for p in &d.selected {
+            println!("  keep {:<28} features+{}", p.scenario.name, p.gain);
+        }
+        Some(d)
+    } else {
+        None
+    };
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
             eprintln!("error: creating {dir}: {e}");
             std::process::exit(2);
         });
-        for a in &report.admitted {
-            let path = format!("{dir}/{}.scn", a.scenario.name);
-            std::fs::write(&path, a.scenario.canonical()).unwrap_or_else(|e| {
+        let write = |scenario: &Scenario| {
+            let path = format!("{dir}/{}.scn", scenario.name);
+            std::fs::write(&path, scenario.canonical()).unwrap_or_else(|e| {
                 eprintln!("error: writing {path}: {e}");
                 std::process::exit(2);
             });
+        };
+        if let Some(d) = &distilled {
+            for p in &d.selected {
+                write(&p.scenario);
+            }
+            println!("wrote {} distilled .scn files to {dir}", d.selected.len());
+        } else {
+            for a in &report.admitted {
+                write(&a.scenario);
+            }
+            println!(
+                "wrote {} admitted .scn files to {dir}",
+                report.admitted.len()
+            );
         }
-        println!(
-            "wrote {} admitted .scn files to {dir}",
-            report.admitted.len()
-        );
     }
     if let Some(failure) = &report.failure {
         match failure.exec {
@@ -463,6 +522,7 @@ fn main() {
     let quiet = ssmdst::sim::quiet_window(g.n());
     let mut session = Session::from_network(build_network(&g, Config::for_n(g.n())))
         .scheduler(sched)
+        .backend(args.backend)
         .horizon(args.max_rounds)
         .build();
     let out = session.run_to_quiescence(quiet, oracle::projection);

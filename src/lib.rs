@@ -154,8 +154,8 @@ pub mod prelude {
         TopologySpec,
     };
     pub use ssmdst_sim::{
-        observe_rounds, quiet_window, stop_when, Network, Observer, QuiescenceGate, RoundTrace,
-        RunOutcome, Runner, ScheduleDigest, Scheduler, Session, SessionBuilder, Stop,
+        observe_rounds, quiet_window, stop_when, Backend, Network, Observer, QuiescenceGate,
+        RoundTrace, RunOutcome, Runner, ScheduleDigest, Scheduler, Session, SessionBuilder, Stop,
     };
 }
 
