@@ -137,7 +137,7 @@ fn reduce_once(
 }
 
 fn swap_at(t: &mut SpanningTree, e: (NodeId, NodeId), w: NodeId, path: &[NodeId]) {
-    let i = path.iter().position(|&x| x == w).expect("w on path");
+    let i = path.iter().position(|&x| x == w).expect("w on path"); // lint: allow(no-panic-in-library) — caller found w as an interior node of this cycle path
     let left = if i > 0 { Some(path[i - 1]) } else { None };
     let right = if i + 1 < path.len() {
         Some(path[i + 1])

@@ -46,7 +46,7 @@ pub fn fr_mdst(g: &Graph, initial: SpanningTree) -> (SpanningTree, FrStats) {
     loop {
         stats.phases += 1;
         let deg = t.degrees();
-        let k = *deg.iter().max().expect("non-empty tree");
+        let k = *deg.iter().max().expect("non-empty tree"); // lint: allow(no-panic-in-library) — a SpanningTree has n >= 1 nodes by construction
         if k <= 2 {
             // A Hamiltonian path: nothing can be better than 2 (n >= 3).
             return (t, stats);
@@ -154,7 +154,7 @@ fn try_reduce(
 /// neighbor on the path (either side works; we take the higher-degree side
 /// to spread load, breaking ties by ID as the paper does).
 fn apply_swap(t: &mut SpanningTree, e: (NodeId, NodeId), w: NodeId, path: &[NodeId]) {
-    let i = path.iter().position(|&x| x == w).expect("w on path");
+    let i = path.iter().position(|&x| x == w).expect("w on path"); // lint: allow(no-panic-in-library) — caller found w as an interior node of this cycle path
     let left = if i > 0 { Some(path[i - 1]) } else { None };
     let right = if i + 1 < path.len() {
         Some(path[i + 1])

@@ -12,6 +12,11 @@
 //! * [`simple_trees`] — BFS / DFS / random / greedy spanning trees: the
 //!   naive baselines and initial trees.
 
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod fragment;
 pub mod fuerer_raghavachari;
 pub mod simple_trees;

@@ -186,7 +186,7 @@ pub fn best_of_random(g: &Graph, k: usize, seed: u64) -> Result<SpanningTree, Gr
             best = Some(t);
         }
     }
-    Ok(best.expect("k >= 1"))
+    Ok(best.expect("k >= 1")) // lint: allow(no-panic-in-library) — loop above runs at least once, so best was set
 }
 
 /// Root an undirected tree adjacency at `root` into a [`SpanningTree`].

@@ -85,7 +85,7 @@ fn measure<A: Automaton>(
         let mut runner = Runner::new(build(), sched);
         runner.set_backend(backend);
         let mut digest = Digest::new();
-        let started = Instant::now();
+        let started = Instant::now(); // lint: allow(no-ambient-entropy) — observation-side wall-clock for the printed timing column; never feeds simulation state
         for _ in 0..rounds {
             runner.step_round_digest(&mut digest);
         }
@@ -187,7 +187,7 @@ fn main() {
         println!("\n## {title}");
         let mut reference: Option<Measured> = None;
         for backend in Backend::ALL {
-            let started = Instant::now();
+            let started = Instant::now(); // lint: allow(no-ambient-entropy) — observation-side wall-clock for the printed timing column; never feeds simulation state
             let m = run(backend);
             let total_ms = started.elapsed().as_millis();
             let (ratio, ref_digest) = match &reference {

@@ -56,7 +56,7 @@ fn main() {
     println!("# ssmdst experiment suite ({profile_label} profile)");
     let mut json_entries: Vec<String> = Vec::new();
     for id in ids {
-        let started = Instant::now();
+        let started = Instant::now(); // lint: allow(no-ambient-entropy) — observation-side wall-clock for the printed timing column; never feeds simulation state
         let (title, table): (&str, Table) = match id.as_str() {
             "t1" => (
                 "T1 — degree quality (Thm 2: deg ≤ Δ*+1)",

@@ -38,6 +38,11 @@
 //! Run `cargo run --release -p ssmdst-bench --bin experiments -- all` to
 //! print everything; Criterion micro-benchmarks live in `benches/`.
 
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod experiments;
 pub mod instance;
 pub mod table;

@@ -32,6 +32,11 @@
 //! dynamic-topology faults — component-wise spanning trees within one of
 //! each component's optimum.
 
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod churn;
 pub mod config;
 pub mod cycle_search;

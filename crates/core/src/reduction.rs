@@ -62,7 +62,7 @@ impl MdstNode {
                         .filter(|&&(_, d)| d == dmax)
                         .map(|&(id, _)| id)
                         .min()
-                        .expect("d_int == dmax implies a witness");
+                        .expect("d_int == dmax implies a witness"); // lint: allow(no-panic-in-library) — this branch is taken only when an interior node hits dmax
                     self.send_remove(init, dmax, w, &path, out);
                 } else if ends_max + 1 == dmax && self.cfg.enable_deblock {
                     self.start_deblock(init, deg_a, deg_b, self.cfg.deblock_ttl, out);

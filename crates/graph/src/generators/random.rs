@@ -39,10 +39,10 @@ pub(crate) fn connect_components(b: &mut GraphBuilder, n: usize, rng: &mut StdRn
         uf.union(u, v);
     }
     for w in members.windows(2) {
-        let u = *w[0].choose(rng).expect("non-empty component");
-        let v = *w[1].choose(rng).expect("non-empty component");
+        let u = *w[0].choose(rng).expect("non-empty component"); // lint: allow(no-panic-in-library) — every component has at least one member
+        let v = *w[1].choose(rng).expect("non-empty component"); // lint: allow(no-panic-in-library) — every component has at least one member
         if uf.union(u, v) {
-            b.add_edge_dedup(u, v).expect("repair edge valid");
+            b.add_edge_dedup(u, v).expect("repair edge valid"); // lint: allow(no-panic-in-library) — endpoints come from distinct components, so u != v
         }
     }
 }
@@ -59,7 +59,7 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
             if r.random::<f64>() < p {
-                b.add_edge(u, v).expect("gnp edge valid");
+                b.add_edge(u, v).expect("gnp edge valid"); // lint: allow(no-panic-in-library) — u < v < n and each pair flipped once
             }
         }
     }
@@ -104,7 +104,7 @@ pub fn gnp_connected_sparse(n: usize, p: f64, seed: u64) -> Graph {
                 _ => break,
             };
             let (u, v) = triangle_unrank(idx, n as u64);
-            b.add_edge_dedup(u, v).expect("gnp_sparse edge valid");
+            b.add_edge_dedup(u, v).expect("gnp_sparse edge valid"); // lint: allow(no-panic-in-library) — triangle_unrank yields u < v < n
             idx += 1;
             if idx >= total {
                 break;
@@ -157,7 +157,7 @@ pub fn gnm_connected(n: usize, m: usize, seed: u64) -> Graph {
             continue;
         }
         let before = b.staged_edges();
-        b.add_edge_dedup(u, v).expect("gnm edge valid");
+        b.add_edge_dedup(u, v).expect("gnm edge valid"); // lint: allow(no-panic-in-library) — u != v checked above and both drawn from 0..n
         if b.staged_edges() > before {
             added += 1;
         }
@@ -183,7 +183,7 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
     let core = attach + 1;
     for u in 0..core as u32 {
         for v in (u + 1)..core as u32 {
-            b.add_edge(u, v).expect("ba core edge");
+            b.add_edge(u, v).expect("ba core edge"); // lint: allow(no-panic-in-library) — clique pairs u < v < core <= n are distinct
             urn.push(u);
             urn.push(v);
         }
@@ -193,13 +193,13 @@ pub fn barabasi_albert(n: usize, attach: usize, seed: u64) -> Graph {
         let mut guard = 0;
         while targets.len() < attach && guard < 10_000 {
             guard += 1;
-            let t = *urn.choose(&mut r).expect("urn non-empty");
+            let t = *urn.choose(&mut r).expect("urn non-empty"); // lint: allow(no-panic-in-library) — urn seeded with the core clique before any draw
             if t != v && !targets.contains(&t) {
                 targets.push(t);
             }
         }
         for &t in &targets {
-            b.add_edge(v, t).expect("ba attach edge");
+            b.add_edge(v, t).expect("ba attach edge"); // lint: allow(no-panic-in-library) — targets are distinct, != v, and staged once per v
             urn.push(v);
             urn.push(t);
         }
@@ -222,7 +222,7 @@ pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
     perm.shuffle(&mut r);
     for i in 0..n {
         b.add_edge_dedup(perm[i], perm[(i + 1) % n])
-            .expect("cycle edge");
+            .expect("cycle edge"); // lint: allow(no-panic-in-library) — consecutive entries of a permutation differ for n >= 2
     }
     let mut deg = vec![2usize; n];
     // Track how many nodes still sit below the target degree incrementally:
@@ -239,7 +239,7 @@ pub fn near_regular(n: usize, d: usize, seed: u64) -> Graph {
             continue;
         }
         let before = b.staged_edges();
-        b.add_edge_dedup(u, v).expect("regular edge");
+        b.add_edge_dedup(u, v).expect("regular edge"); // lint: allow(no-panic-in-library) — u != v checked above and both drawn from 0..n
         if b.staged_edges() > before {
             for x in [u, v] {
                 deg[x as usize] += 1;

@@ -19,7 +19,7 @@
 use crate::error::GraphError;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::HashSet; // lint: allow(no-unordered-collections) — membership-only duplicate probe in GraphBuilder; never iterated
 
 /// Dense node identifier, `0..n`.
 pub type NodeId = u32;
@@ -189,7 +189,7 @@ pub struct GraphBuilder {
     /// O(1) duplicate probe over canonical keys (`u < v` packed into a
     /// `u64`), so randomized generators can stage E edges in O(E) expected
     /// time instead of the O(E²) a per-insert linear scan would cost.
-    staged: HashSet<u64>,
+    staged: HashSet<u64>, // lint: allow(no-unordered-collections) — probed with `contains`/`insert` only; iteration order can't leak
 }
 
 /// Canonical `u64` key for the undirected edge `{u, v}`.
@@ -206,7 +206,7 @@ impl GraphBuilder {
         GraphBuilder {
             n: n as u32,
             edges: Vec::new(),
-            staged: HashSet::new(),
+            staged: HashSet::new(), // lint: allow(no-unordered-collections) — same membership-only set as the field above
         }
     }
 
@@ -303,6 +303,7 @@ pub fn graph_from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Graph {
     let mut b = GraphBuilder::new(n);
     for &(u, v) in edges {
         b.add_edge(u, v)
+            // lint: allow(no-panic-in-library) — documented `# Panics` test helper; loud failure is the contract
             .unwrap_or_else(|e| panic!("bad edge ({u},{v}): {e}"));
     }
     b.build()

@@ -27,6 +27,11 @@
 //! them to arbitrary unique identifiers when exercising identifier-dependent
 //! behaviour (the paper breaks ties by node ID).
 
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod bridges;
 pub mod dot;
 pub mod error;

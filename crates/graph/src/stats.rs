@@ -27,8 +27,9 @@ fn stats_of(degs: impl Iterator<Item = u32>) -> DegreeStats {
             hist: vec![],
         };
     }
-    let min = *degs.iter().min().unwrap();
-    let max = *degs.iter().max().unwrap();
+    let (min, max) = degs
+        .iter()
+        .fold((u32::MAX, 0), |(lo, hi), &d| (lo.min(d), hi.max(d)));
     let mean = degs.iter().map(|&d| d as f64).sum::<f64>() / degs.len() as f64;
     let mut hist = vec![0usize; max as usize + 1];
     for &d in &degs {

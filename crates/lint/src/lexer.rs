@@ -1,0 +1,601 @@
+//! A hand-rolled Rust lexer, just deep enough that lint rules match
+//! **tokens**, never raw text.
+//!
+//! The rules this crate enforces are token-shaped (“the identifier
+//! `HashMap`”, “`.unwrap`”, “`panic!`”), so the one job of this lexer is
+//! to never confuse code with the places banned spellings may legally
+//! appear:
+//!
+//! * string literals — plain (`"…"` with escapes), raw (`r"…"`,
+//!   `r##"…"##` with any hash count), byte (`b"…"`), and raw-byte
+//!   (`br#"…"#`);
+//! * character and byte-character literals (`'x'`, `'\''`, `b'\n'`),
+//!   including the classic `'a'`-vs-`'a`-lifetime ambiguity;
+//! * comments — line (`//`), doc (`///`, `//!`), and block (`/* … */`)
+//!   with arbitrary nesting, which Rust allows and naive scanners get
+//!   wrong;
+//! * raw identifiers (`r#type`), so an `r#` prefix is not mistaken for
+//!   the start of a raw string.
+//!
+//! Everything else (numbers, punctuation) is tokenized coarsely: rules
+//! only ever inspect identifiers and single-character punctuation, so
+//! `::` is simply two `:` tokens and numeric literals only need to not
+//! swallow their neighbours (`0..n` must yield `0`, `.`, `.`, `n`).
+//!
+//! The lexer is resilient by design — it has exactly three hard errors
+//! (unterminated string, unterminated block comment, unterminated char
+//! literal), because a file with one of those will not compile anyway and
+//! a linter must not guess at its meaning.
+
+/// What a [`Token`] is. Only `Ident` and `Punct` participate in rule
+/// matching; the literal kinds exist so their *content* is provably
+/// invisible to the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `r#type`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    CharLit,
+    /// String literal of any flavour (plain, raw, byte, raw-byte).
+    StrLit,
+    /// Numeric literal (`42`, `0x9E37_79B9`, `1.5e3`).
+    Num,
+    /// One character of punctuation (`.`, `:`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The exact source text (for `Punct`, a single character).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// One comment, separated from the code-token stream. Lint annotations
+/// (`// lint: …`) are only recognized in plain line comments, so doc
+/// comments that *describe* the annotation grammar can never trigger it.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment content with the introducer (`//`, `///`, `/*` …) and, for
+    /// block comments, the closing `*/` stripped.
+    pub text: String,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+    /// Whether this is a block comment.
+    pub block: bool,
+}
+
+/// Result of lexing one file: code tokens and comments, both in source
+/// order, each carrying line numbers.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens (identifiers, literals, punctuation).
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// A hard lexing failure. Only constructs that would also fail `rustc`
+/// produce one; the engine reports it and refuses to lint the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into code tokens and comments.
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' || c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            line_comment(&mut cur, &mut out);
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            block_comment(&mut cur, &mut out)?;
+            continue;
+        }
+        if is_ident_start(c) {
+            ident_or_prefixed_literal(&mut cur, &mut out)?;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            number(&mut cur, &mut out);
+            continue;
+        }
+        if c == '"' {
+            plain_string(&mut cur, &mut out)?;
+            continue;
+        }
+        if c == '\'' {
+            char_or_lifetime(&mut cur, &mut out)?;
+            continue;
+        }
+        let line = cur.line;
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    Ok(out)
+}
+
+fn line_comment(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    cur.bump(); // /
+    cur.bump(); // /
+    let mut extra_slashes = 0;
+    while cur.peek(0) == Some('/') {
+        extra_slashes += 1;
+        cur.bump();
+    }
+    let inner_doc = cur.peek(0) == Some('!');
+    if inner_doc {
+        cur.bump();
+    }
+    // `///` is doc, `////…` is plain (rustdoc's rule), `//!` is doc.
+    let doc = extra_slashes == 1 || inner_doc;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        line,
+        text,
+        doc,
+        block: false,
+    });
+}
+
+fn block_comment(cur: &mut Cursor, out: &mut Lexed) -> Result<(), LexError> {
+    let line = cur.line;
+    cur.bump(); // /
+    cur.bump(); // *
+                // `/**` (not `/**/`) and `/*!` are doc comments.
+    let doc = (cur.peek(0) == Some('*') && cur.peek(1) != Some('/')) || cur.peek(0) == Some('!');
+    let mut depth = 1usize;
+    let mut text = String::new();
+    loop {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push('*');
+                text.push('/');
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => {
+                return Err(LexError {
+                    line,
+                    msg: "unterminated block comment".into(),
+                });
+            }
+        }
+    }
+    out.comments.push(Comment {
+        line,
+        text,
+        doc,
+        block: true,
+    });
+    Ok(())
+}
+
+/// An identifier — or one of the literal families an identifier-looking
+/// prefix can open: `r"…"`, `r#"…"#`, `br"…"`, `b"…"`, `b'…'`, `r#ident`.
+fn ident_or_prefixed_literal(cur: &mut Cursor, out: &mut Lexed) -> Result<(), LexError> {
+    let line = cur.line;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let next = cur.peek(0);
+    match (text.as_str(), next) {
+        // Raw string with zero hashes: r"…" / br"…".
+        ("r" | "br", Some('"')) => raw_string(cur, out, line),
+        // Raw string with hashes — or a raw identifier (`r#type`).
+        ("r" | "br", Some('#')) => {
+            let mut hashes = 0usize;
+            while cur.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if cur.peek(hashes) == Some('"') {
+                raw_string(cur, out, line)
+            } else if text == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) {
+                cur.bump(); // #
+                let mut raw = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if is_ident_continue(c) {
+                        raw.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: raw,
+                    line,
+                });
+                Ok(())
+            } else {
+                // `r#` followed by nothing lexable as string or ident:
+                // emit the ident and let the punct loop handle the rest.
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                Ok(())
+            }
+        }
+        // Byte string: b"…".
+        ("b", Some('"')) => plain_string(cur, out),
+        // Byte char: b'…'.
+        ("b", Some('\'')) => char_literal(cur, out, line),
+        _ => {
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Raw (possibly byte) string; the cursor sits on the first `#` or `"`.
+fn raw_string(cur: &mut Cursor, out: &mut Lexed, line: u32) -> Result<(), LexError> {
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some('#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line,
+                    msg: "unterminated raw string".into(),
+                });
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::StrLit,
+        text: String::new(),
+        line,
+    });
+    Ok(())
+}
+
+/// Plain (possibly byte) string with backslash escapes; cursor on `"`.
+fn plain_string(cur: &mut Cursor, out: &mut Lexed) -> Result<(), LexError> {
+    let line = cur.line;
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => break,
+            Some('\\') => {
+                cur.bump(); // whatever is escaped, including \" and \\
+            }
+            Some(_) => {}
+            None => {
+                return Err(LexError {
+                    line,
+                    msg: "unterminated string literal".into(),
+                });
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::StrLit,
+        text: String::new(),
+        line,
+    });
+    Ok(())
+}
+
+/// `'` opens either a char literal or a lifetime. Disambiguation mirrors
+/// rustc: `'\…'` is a char; `'x` where `x` starts an identifier and the
+/// *next* character is not `'` is a lifetime (`'a`, `'static`, `'_`);
+/// everything else (`'a'`, `'('`, `' '`) is a char literal.
+fn char_or_lifetime(cur: &mut Cursor, out: &mut Lexed) -> Result<(), LexError> {
+    let line = cur.line;
+    if cur.peek(1) == Some('\\') {
+        return char_literal(cur, out, line);
+    }
+    if cur.peek(1).is_some_and(is_ident_start) && cur.peek(2) != Some('\'') {
+        cur.bump(); // '
+        let mut text = String::from("'");
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Lifetime,
+            text,
+            line,
+        });
+        return Ok(());
+    }
+    char_literal(cur, out, line)
+}
+
+/// A char literal (`'x'`, `'\''`); the cursor sits on the opening `'`.
+fn char_literal(cur: &mut Cursor, out: &mut Lexed, line: u32) -> Result<(), LexError> {
+    cur.bump(); // opening '
+    loop {
+        match cur.bump() {
+            Some('\'') => break,
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('\n') | None => {
+                return Err(LexError {
+                    line,
+                    msg: "unterminated character literal".into(),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::CharLit,
+        text: String::new(),
+        line,
+    });
+    Ok(())
+}
+
+/// Numeric literal: digits, `_`, radix/width letters, and at most one
+/// decimal point when a digit follows it — so `0..n` and `1.max(x)` keep
+/// their dots as punctuation.
+fn number(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    let mut text = String::new();
+    loop {
+        match cur.peek(0) {
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                text.push(c);
+                cur.bump();
+            }
+            Some('.') if cur.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                text.push('.');
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokKind::Num,
+        text,
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let lexed = lex(src).expect("lexes");
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_banned_tokens() {
+        // A raw string containing `HashMap` (with hash-guards and an inner
+        // quote) must contribute zero identifier tokens.
+        let src = r####"let s = r##"use std::collections::HashMap; " inner "##; "####;
+        assert_eq!(idents(src), ["let", "s"]);
+        let src2 = "let s = r#\"HashMap\"#;";
+        assert_eq!(idents(src2), ["let", "s"]);
+        let src3 = "let s = br\"HashSet\";";
+        assert_eq!(idents(src3), ["let", "s"]);
+    }
+
+    #[test]
+    fn nested_block_comments_hide_banned_tokens() {
+        let src = "a /* HashMap /* HashSet */ thread_rng */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+        let lexed = lex(src).expect("lexes");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("HashSet"));
+    }
+
+    #[test]
+    fn unterminated_nested_comment_is_an_error() {
+        let err = lex("/* /* */").expect_err("must not lex");
+        assert!(err.msg.contains("block comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str, c: char) { let y = 'b'; }").expect("lexes");
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .count();
+        assert_eq!(chars, 1, "'b' is a char literal");
+    }
+
+    #[test]
+    fn char_escapes_and_labels() {
+        // '\'' and '\\' are chars; 'outer: is a label (lexes as lifetime).
+        let lexed =
+            lex("let q = '\\''; let b = '\\\\'; 'outer: loop { break 'outer; }").expect("lexes");
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::CharLit)
+            .count();
+        assert_eq!(chars, 2);
+        let labels = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(labels, 2);
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        let lexed = lex("let x = b'\\''; let s = b\"unwrap\"; let r#type = 1;").expect("lexes");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "type"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged_and_separated() {
+        let src = "/// uses .unwrap() freely\n//! inner doc\n//// not doc\n// plain\nfn f() {}";
+        let lexed = lex(src).expect("lexes");
+        let docs: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, [true, true, false, false]);
+        assert!(!lexed.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_method_calls() {
+        let lexed = lex("for i in 0..n { let x = 1.max(2); let h = 0x9E37_79B9; }").expect("lexes");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"max"), "1.max parsed as number+method");
+        assert!(texts.contains(&"0x9E37_79B9"));
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct && t.text == ".")
+            .count();
+        assert_eq!(dots, 3, "two range dots + one method dot");
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */ let b = 1;\nlet c = 2;";
+        let lexed = lex(src).expect("lexes");
+        let line_of = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .find(|t| t.text == name)
+                .map(|t| t.line)
+                .expect("token present")
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 4);
+        assert_eq!(line_of("c"), 5);
+    }
+}

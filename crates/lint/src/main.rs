@@ -1,0 +1,72 @@
+//! CLI for `ssmdst-lint`.
+//!
+//! ```text
+//! ssmdst-lint check [--json] [ROOT]   lint the workspace (default ROOT: .)
+//! ssmdst-lint rules                   print the rule table
+//! ```
+//!
+//! Exit codes (CI semantics): `0` clean, `1` findings, `2` usage or I/O
+//! error. Diagnostics go to stdout; errors to stderr.
+
+use ssmdst_lint::{check_tree, report, ALL_RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: ssmdst-lint <check [--json] [ROOT] | rules>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    flag if flag.starts_with('-') => {
+                        eprintln!("unknown flag `{flag}` (options: --json)");
+                        return ExitCode::from(2);
+                    }
+                    path if root.is_none() => root = Some(PathBuf::from(path)),
+                    extra => {
+                        eprintln!("unexpected argument `{extra}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(|| PathBuf::from("."));
+            match check_tree(&root) {
+                Ok(rep) => {
+                    if json {
+                        print!("{}", report::render_json(&rep));
+                    } else {
+                        print!("{}", report::render_text(&rep));
+                    }
+                    if rep.clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("ssmdst-lint: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("rules") => {
+            for r in ALL_RULES {
+                println!("{:>2} {:26} {}", r.code(), r.name(), r.contract());
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}` (options: check, rules)\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

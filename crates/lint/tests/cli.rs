@@ -1,0 +1,88 @@
+//! Exit-code and output contract of the `ssmdst-lint` binary: 0 clean,
+//! 1 findings, 2 usage/I-O error — the semantics the CI gate relies on.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ssmdst-lint"))
+}
+
+#[test]
+fn check_on_the_workspace_exits_zero() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let out = bin().args(["check", root]).output().expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "lint found findings:\n{text}");
+    assert!(text.contains("0 finding(s)"), "{text}");
+}
+
+#[test]
+fn seeded_violations_exit_one_with_file_line_diagnostics() {
+    // Stage a miniature workspace under target/tmp: one digest-crate
+    // library file violating R1, R2 and R4 on known lines.
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("seeded-violations");
+    let src_dir = dir.join("crates/sim/src");
+    std::fs::create_dir_all(&src_dir).expect("staging dir");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "use std::collections::HashMap;\n\
+         pub fn t() -> std::time::Instant { std::time::Instant::now() }\n\
+         pub fn u(o: Option<u32>) -> u32 { o.unwrap() }\n",
+    )
+    .expect("staged file");
+    let root = dir.to_str().expect("utf8 path");
+
+    let out = bin().args(["check", root]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("crates/sim/src/lib.rs:1: R1"), "{text}");
+    assert!(text.contains("crates/sim/src/lib.rs:2: R2"), "{text}");
+    assert!(text.contains("crates/sim/src/lib.rs:3: R4"), "{text}");
+
+    let out = bin()
+        .args(["check", "--json", root])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"code\": \"R1\""), "{json}");
+    assert!(json.contains("\"line\": 3"), "{json}");
+    assert!(json.contains("\"clean\": false"), "{json}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = bin()
+        .args(["check", "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = bin()
+        .args(["no-such-command"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn rules_lists_the_full_table() {
+    let out = bin().args(["rules"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for label in [
+        "R1",
+        "R2",
+        "R3",
+        "R4",
+        "R5",
+        "no-unordered-collections",
+        "annotation-hygiene",
+    ] {
+        assert!(text.contains(label), "missing {label}:\n{text}");
+    }
+}

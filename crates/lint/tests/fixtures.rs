@@ -1,0 +1,160 @@
+//! Fixture-driven conformance for the rule engine.
+//!
+//! Every `.rs` file under `tests/fixtures/` carries a first-line directive
+//!
+//! ```text
+//! // lint-fixture: crate=<name> kind=<library|bin|example|test>
+//! ```
+//!
+//! and annotates each expected finding with a `// expect: <codes>` marker
+//! on the offending line (or `// expect-next: <codes>` on the line above,
+//! for lines that already carry a lint annotation). The harness lints each
+//! fixture under its declared class and asserts the finding set matches
+//! the markers *exactly* — seeded violations must all surface, and the
+//! hostile-negative corpus (no markers) must stay silent.
+//!
+//! The workspace walker skips any directory named `fixtures`, so these
+//! files never pollute a real `ssmdst-lint check` run.
+
+use ssmdst_lint::{lint_source, FileClass, TargetKind};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Parse the first-line `// lint-fixture:` directive into a [`FileClass`].
+fn parse_directive(src: &str, path: &Path) -> FileClass {
+    let first = src.lines().next().unwrap_or_default();
+    let rest = first
+        .strip_prefix("// lint-fixture:")
+        .unwrap_or_else(|| panic!("{}: missing lint-fixture directive", path.display()));
+    let mut crate_name = None;
+    let mut kind = None;
+    for part in rest.split_whitespace() {
+        if let Some(v) = part.strip_prefix("crate=") {
+            crate_name = Some(v.to_string());
+        } else if let Some(v) = part.strip_prefix("kind=") {
+            kind = Some(match v {
+                "library" => TargetKind::Library,
+                "bin" => TargetKind::Bin,
+                "example" => TargetKind::Example,
+                "test" => TargetKind::Test,
+                other => panic!("{}: unknown kind `{other}`", path.display()),
+            });
+        }
+    }
+    FileClass::new(
+        &crate_name.unwrap_or_else(|| panic!("{}: directive lacks crate=", path.display())),
+        kind.unwrap_or_else(|| panic!("{}: directive lacks kind=", path.display())),
+    )
+}
+
+/// Collect the `(line, code)` pairs the fixture's markers promise, with
+/// multiplicity (a line may expect the same code twice).
+fn expectations(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let lineno = i as u32 + 1;
+        if let Some(pos) = line.find("// expect-next:") {
+            for code in line[pos + "// expect-next:".len()..].split_whitespace() {
+                out.push((lineno + 1, code.to_string()));
+            }
+        } else if let Some(pos) = line.find("// expect:") {
+            for code in line[pos + "// expect:".len()..].split_whitespace() {
+                out.push((lineno, code.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn fixture_paths() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(fixture_dir())
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn every_fixture_produces_exactly_its_annotated_findings() {
+    let paths = fixture_paths();
+    assert!(
+        paths.len() >= 6,
+        "expected the full fixture corpus, found {} files",
+        paths.len()
+    );
+    for path in paths {
+        let src = std::fs::read_to_string(&path).expect("readable fixture");
+        let class = parse_directive(&src, &path);
+        let out = lint_source(&class, &src).expect("fixture lexes");
+        let mut got: Vec<(u32, String)> = out
+            .findings
+            .iter()
+            .map(|f| (f.line, f.rule.code().to_string()))
+            .collect();
+        got.sort();
+        let want = expectations(&src);
+        assert_eq!(
+            got,
+            want,
+            "finding set mismatch in {} (got vs annotated)",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn fixtures_with_reasoned_allows_have_them_honored() {
+    for name in ["r1_unordered.rs", "r2_entropy.rs", "r4_panic.rs"] {
+        let path = fixture_dir().join(name);
+        let src = std::fs::read_to_string(&path).expect("readable fixture");
+        let class = parse_directive(&src, &path);
+        let out = lint_source(&class, &src).expect("fixture lexes");
+        assert!(
+            out.suppressions_honored >= 1,
+            "{name}: the sanctioned-escape-hatch example should be masked"
+        );
+    }
+}
+
+#[test]
+fn the_hostile_negative_corpus_is_silent() {
+    let path = fixture_dir().join("hostile_negative.rs");
+    let src = std::fs::read_to_string(&path).expect("readable fixture");
+    let class = parse_directive(&src, &path);
+    let out = lint_source(&class, &src).expect("hostile fixture lexes");
+    assert!(
+        out.findings.is_empty(),
+        "quoted/commented tokens misread as code: {:?}",
+        out.findings
+    );
+}
+
+/// The tool lints itself: the workspace this crate ships in must be clean,
+/// and the walk must actually cover it (guard against a broken walker
+/// reporting a vacuous pass).
+#[test]
+fn the_workspace_tree_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ssmdst_lint::check_tree(&root).expect("workspace walk succeeds");
+    assert!(
+        report.clean(),
+        "workspace has findings:\n{}",
+        ssmdst_lint::report::render_text(&report)
+    );
+    assert!(
+        report.files_scanned >= 90,
+        "walker covered only {} files — skip rules too broad?",
+        report.files_scanned
+    );
+    assert!(
+        report.suppressions_honored >= 50,
+        "only {} suppressions honored — annotations not being parsed?",
+        report.suppressions_honored
+    );
+}

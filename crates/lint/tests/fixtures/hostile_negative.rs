@@ -1,0 +1,41 @@
+// lint-fixture: crate=sim kind=library
+//! Hostile negatives: every banned token below is quoted, commented, or
+//! otherwise not real code. A lexer that cuts corners on strings, raw
+//! strings, nested comments, or lifetimes reports all of them; the
+//! correct answer is zero findings.
+
+/// Doc comments may discuss `HashMap`, `Instant::now()`, `rand::random()`
+/// and `panic!()` freely — prose is not code.
+pub fn quoted_tokens() -> &'static str {
+    "use std::collections::HashMap; rand::thread_rng().unwrap()"
+}
+
+pub fn raw_strings() -> &'static str {
+    r#"let m: HashMap<u32, u32> = HashMap::new(); // vec![] format!()"#
+}
+
+pub fn raw_hashes() -> &'static str {
+    r##"nested r#"SystemTime::now()"# stays one literal"##
+}
+
+/* Block comments nest in Rust: /* panic!("inner") */ and the outer
+   comment keeps absorbing HashSet::new() until its own terminator. */
+pub fn lifetimes<'a>(x: &'a u32) -> &'a u32 {
+    let _not_a_lifetime = 'h'; // char literal, not the lifetime 'h
+    x
+}
+
+pub fn byte_strings() -> (&'static [u8], u8) {
+    (b"HashMap in bytes \"quoted\"", b'\'')
+}
+
+pub fn r_is_an_ident() -> u32 {
+    let r = 1u32; // a variable named `r`, not a raw-string prefix
+    let r#type = r; // raw identifier
+    r#type
+}
+
+pub fn strings_with_escapes() -> String {
+    let s = String::from("escaped quote \" then Instant::now() and todo!()");
+    s
+}

@@ -1,0 +1,35 @@
+// lint-fixture: crate=sim kind=library
+//! Seeded R1 violations: unordered collections in a digest-relevant crate.
+//! (Fixtures are lexed, not compiled — the walker skips this directory.)
+
+use std::collections::HashMap; // expect: R1
+use std::collections::HashSet; // expect: R1
+use std::collections::BTreeMap; // ordered cousin: no finding
+
+pub fn histogram(xs: &[u32]) -> HashMap<u32, u32> { // expect: R1
+    let mut m = HashMap::new(); // expect: R1
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn ordered(xs: &[u32]) -> BTreeMap<u32, u32> {
+    xs.iter().map(|&x| (x, x)).collect()
+}
+
+// A reasoned membership-only probe is the sanctioned escape hatch.
+pub fn has_dup(xs: &[u64]) -> bool {
+    let mut seen: HashSet<u64> = HashSet::new(); // lint: allow(no-unordered-collections) — membership-only probe; never iterated
+    xs.iter().any(|&x| !seen.insert(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

@@ -1,0 +1,40 @@
+// lint-fixture: crate=bench kind=library
+//! Seeded R2 violations: ambient entropy and wall-clock reads. R2 applies
+//! to every non-test target — legitimacy is expressed only through a
+//! reasoned allow, never by location.
+
+use std::time::Instant;
+
+pub fn elapsed_ms() -> u128 {
+    let start = Instant::now(); // expect: R2
+    start.elapsed().as_millis()
+}
+
+pub fn wall_clock_seed() -> u64 {
+    let t = std::time::SystemTime::now(); // expect: R2
+    t.duration_since(std::time::UNIX_EPOCH).unwrap_or_default().as_secs()
+}
+
+pub fn thread_seeded() -> u64 {
+    let mut r = rand::thread_rng(); // expect: R2
+    r.next_u64()
+}
+
+pub fn ambient_draw() -> u64 {
+    rand::random() // expect: R2
+}
+
+// Observation-side timing is fine when the excuse is written down.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now(); // lint: allow(no-ambient-entropy) — observation-side timing for the returned measurement; never feeds simulation state
+    let out = f();
+    (out, start.elapsed().as_nanos())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_time_itself() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,34 @@
+// lint-fixture: crate=core kind=library
+//! Seeded R4 violations: panic-capable calls in non-test library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // expect: R4
+}
+
+pub fn must(o: Option<u32>) -> u32 {
+    o.expect("always some") // expect: R4
+}
+
+pub fn boom(flag: bool) {
+    if flag {
+        panic!("kaboom"); // expect: R4
+    }
+}
+
+pub fn later() {
+    todo!() // expect: R4
+}
+
+// A reasoned expect names the invariant that makes failure unreachable.
+pub fn masked(o: Option<u32>) -> u32 {
+    o.expect("set by the constructor") // lint: allow(no-panic-in-library) — constructor initializes this field before any caller can observe it
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_test_code() {
+        let _ = Some(1u32).unwrap();
+        let _: u32 = "7".parse().expect("digit");
+    }
+}

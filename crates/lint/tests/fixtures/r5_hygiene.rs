@@ -1,0 +1,29 @@
+// lint-fixture: crate=graph kind=library
+//! Seeded R5 violations: the suppressions themselves are audited, so an
+//! excuse that no longer excuses anything is an error of its own.
+
+// A suppression that masks nothing is stale.
+// expect-next: R5
+// lint: allow(no-unordered-collections) — nothing here to mask any more
+pub fn stale() {}
+
+// A suppression without a reason does not suppress — the finding and the
+// hygiene violation both surface.
+pub fn missing_reason(o: Option<u32>) -> u32 {
+    // expect-next: R4 R5
+    o.unwrap() // lint: allow(no-panic-in-library)
+}
+
+// Unknown rule names are flagged, not silently ignored.
+// expect-next: R5
+// lint: allow(no-such-rule) — the rule table has no such entry
+pub fn unknown_rule() {}
+
+// A typo in the verb is caught rather than treated as prose.
+// expect-next: R5
+// lint: alow(no-panic-in-library) — typo in the verb
+pub fn typo() {}
+
+// A hot-path opener with no block to govern is dead weight.
+// expect-next: R5
+// lint: hot-path

@@ -26,7 +26,7 @@
 
 use crate::engine::ScenarioOutcome;
 use ssmdst_sim::{log2_bucket, Digest};
-use std::collections::HashSet;
+use std::collections::HashSet; // lint: allow(no-unordered-collections) — membership-only coverage probe; features are counted, never iterated
 
 /// Hash one feature: a domain tag plus its coordinates. FNV-1a via the
 /// replay [`Digest`], so features are stable across platforms and runs.
@@ -124,7 +124,7 @@ impl Signature {
 /// observations are applied in a deterministic order.
 #[derive(Debug, Default)]
 pub struct CoverageMap {
-    seen: HashSet<u64>,
+    seen: HashSet<u64>, // lint: allow(no-unordered-collections) — insert/contains/len only; doc above states the order-independence argument
 }
 
 impl CoverageMap {

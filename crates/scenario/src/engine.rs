@@ -274,7 +274,7 @@ pub fn run_protocol<P: Protocol>(
     );
     phases.push(phase);
 
-    let last = phases.last().expect("at least one phase");
+    let last = phases.last().expect("at least one phase"); // lint: allow(no-panic-in-library) — a phase was pushed on the line above
     let final_degree = if last.checked && last.components == 1 && last.degree > 0 {
         Some(last.degree)
     } else {

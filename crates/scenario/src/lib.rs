@@ -52,6 +52,11 @@
 //! cross-cutting machinery (digest chain, trace records, phase stop
 //! conditions) attached as one composable [`ssmdst_sim::Observer`].
 
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod campaign;
 pub mod corpus;
 pub mod coverage;

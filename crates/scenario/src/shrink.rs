@@ -110,7 +110,7 @@ fn shrink_n(cur: &mut Scenario, accept: &mut Accept, stats: &mut ShrinkStats) ->
                 continue;
             }
             let mut cand = cur.clone();
-            cand.topology = cur.topology.with_n(cand_n).expect("min_n implies with_n");
+            cand.topology = cur.topology.with_n(cand_n).expect("min_n implies with_n"); // lint: allow(no-panic-in-library) — min came from min_n(), so with_n accepts cand_n >= min
             if accept(cur, cand, stats) {
                 accepted = true;
                 improved = true;

@@ -150,7 +150,7 @@ pub fn storm_observed(
     mut on_admit: impl FnMut(&Admission),
 ) -> StormReport {
     assert!(!seeds.is_empty(), "storm needs at least one seed scenario");
-    let start = Instant::now();
+    let start = Instant::now(); // lint: allow(no-ambient-entropy) — observation-side timing for the report's elapsed field; never feeds scenario selection or digests
     let mut map = CoverageMap::new();
     let mut corpus: Vec<Scenario> = Vec::new();
 
@@ -265,7 +265,10 @@ pub struct DistillReport {
 pub fn distill(candidates: &[Scenario], workers: usize) -> DistillReport {
     let outs = run_many(candidates.to_vec(), workers, engine::run_any);
     let sigs: Vec<Signature> = outs.iter().map(Signature::of).collect();
-    let mut uncovered: std::collections::HashSet<u64> = sigs
+    // Ordered set on purpose (and by R1): `uncovered` is only probed and
+    // shrunk, but keeping it iteration-ordered means no future refactor
+    // can accidentally let map order leak into pick order.
+    let mut uncovered: std::collections::BTreeSet<u64> = sigs
         .iter()
         .flat_map(|s| s.features().iter().copied())
         .collect();
@@ -286,7 +289,7 @@ pub fn distill(candidates: &[Scenario], workers: usize) -> DistillReport {
                 best = Some((gain, pos));
             }
         }
-        let (gain, pos) = best.expect("uncovered features all came from some candidate");
+        let (gain, pos) = best.expect("uncovered features all came from some candidate"); // lint: allow(no-panic-in-library) — every uncovered feature was contributed by a remaining candidate
         let i = remaining.remove(pos);
         for f in sigs[i].features() {
             uncovered.remove(f);
@@ -306,7 +309,7 @@ pub fn distill(candidates: &[Scenario], workers: usize) -> DistillReport {
 /// Delta-debug a failing scenario into a minimal verified reproducer.
 fn minimize(scn: &Scenario, pred: Predicate, exec: Option<u64>) -> StormFailure {
     let (shrunk, stats) = shrink::shrink(scn, |s| pred.test(s))
-        .expect("the scenario failed when executed, so it must fail when re-tested");
+        .expect("the scenario failed when executed, so it must fail when re-tested"); // lint: allow(no-panic-in-library) — replay determinism: a failure observed once reproduces
     StormFailure {
         exec,
         scenario: scn.clone(),
@@ -493,6 +496,59 @@ mod tests {
             map.observe(&Signature::of(out));
         }
         assert_eq!(map.len(), a.features, "subset still covers everything");
+    }
+
+    /// The `BTreeSet` uncovered-feature tracker picks exactly what the
+    /// definition demands: an independent greedy re-implementation over
+    /// sorted `Vec` feature sets (no set type at all) must select the
+    /// identical scenarios with the identical gains — distill's output is
+    /// a function of the candidate list, not of the set representation.
+    #[test]
+    fn distill_selection_matches_a_set_free_reference_greedy() {
+        let cfg = StormConfig::new(7, 10);
+        let report = storm(&seeds(), &cfg);
+        let mut candidates = seeds();
+        candidates.extend(report.admitted.iter().map(|a| a.scenario.clone()));
+
+        // Reference greedy: sorted-Vec sets, earliest-candidate tie-break.
+        let outs = run_many(candidates.clone(), 1, engine::run_any);
+        let sigs: Vec<Vec<u64>> = outs
+            .iter()
+            .map(|o| {
+                let mut f = Signature::of(o).features().to_vec();
+                f.sort_unstable();
+                f.dedup();
+                f
+            })
+            .collect();
+        let mut uncovered: Vec<u64> = sigs.concat();
+        uncovered.sort_unstable();
+        uncovered.dedup();
+        let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+        let mut expected: Vec<(usize, usize)> = Vec::new(); // (candidate, gain)
+        while !uncovered.is_empty() {
+            let mut best: Option<(usize, usize)> = None;
+            for (pos, &i) in remaining.iter().enumerate() {
+                let gain = sigs[i]
+                    .iter()
+                    .filter(|f| uncovered.binary_search(f).is_ok())
+                    .count();
+                if gain > 0 && best.map_or(true, |(g, _)| gain > g) {
+                    best = Some((gain, pos));
+                }
+            }
+            let (gain, pos) = best.expect("every uncovered feature has a source");
+            let i = remaining.remove(pos);
+            uncovered.retain(|f| sigs[i].binary_search(f).is_err());
+            expected.push((i, gain));
+        }
+
+        let got = distill(&candidates, 1);
+        assert_eq!(got.selected.len(), expected.len());
+        for (pick, (i, gain)) in got.selected.iter().zip(&expected) {
+            assert_eq!(&pick.scenario, &candidates[*i], "pick order changed");
+            assert_eq!(pick.gain, *gain, "gain changed");
+        }
     }
 
     #[test]

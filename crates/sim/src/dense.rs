@@ -73,7 +73,7 @@ impl DenseSet {
             return;
         }
         self.pos[key as usize] = NONE;
-        let last = self.list.pop().expect("non-empty: key was a member");
+        let last = self.list.pop().expect("non-empty: key was a member"); // lint: allow(no-panic-in-library) — pos[key] != NONE proves the list holds key
         if last != key {
             self.list[p as usize] = last;
             self.pos[last as usize] = p;

@@ -96,6 +96,7 @@ impl EventQueue {
 
     /// Re-evaluate the enabled-tick predicate for every node the network
     /// marked dirty since the last call.
+    // lint: hot-path
     pub(crate) fn refresh<A: Automaton>(&mut self, net: &mut Network<A>) {
         let words = net.n().div_ceil(64);
         if self.tick_words.len() < words {
@@ -117,6 +118,7 @@ impl EventQueue {
     /// Build this round's pending events (canonical enumeration order:
     /// ticks ascending by node id, then channel deliveries ascending by
     /// slot id) and hand them back sorted into daemon execution order.
+    // lint: hot-path
     pub(crate) fn schedule<A: Automaton>(
         &mut self,
         round: u64,
@@ -153,6 +155,7 @@ impl EventQueue {
     /// can pop channels directly in same-slot runs. Keys are requested in
     /// the identical canonical enumeration order, so the stateful daemons
     /// draw the identical streams.
+    // lint: hot-path
     pub(crate) fn schedule_batched<A: Automaton>(
         &mut self,
         round: u64,
@@ -191,6 +194,7 @@ impl EventQueue {
     /// instead of comparison sorts over scratch vectors (the only sort is
     /// over the *touched word indices*, 64× fewer elements). Same
     /// obligations, same key-request order, same final `(key, seq)` sort.
+    // lint: hot-path
     pub(crate) fn schedule_soa<A: Automaton>(
         &mut self,
         round: u64,
@@ -463,5 +467,148 @@ mod tests {
             let soa = q.schedule_soa(2, &mut k4, &n).to_vec();
             check_slotted(&n, &a, &soa, sched, "soa");
         }
+    }
+
+    /// What the determinism contract promises about same-round ordering.
+    ///
+    /// Promised: the *execution* order — and hence the chained digest —
+    /// is a pure function of the keyed event set. `(key, seq)` pairs are
+    /// unique, so the final sort is a total order: however the pending
+    /// buffer is permuted before sorting, sorting restores the identical
+    /// schedule.
+    #[test]
+    fn execution_order_is_a_pure_function_of_the_keyed_event_set() {
+        use rand::seq::SliceRandom;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut n = net(true);
+        let mut q = EventQueue::new();
+        q.refresh(&mut n);
+        n.tick_node(0);
+        n.tick_node(1);
+        q.refresh(&mut n);
+        for sched in [
+            Scheduler::Synchronous,
+            Scheduler::RandomAsync { seed: 11 },
+            Scheduler::Adversarial { seed: 11 },
+        ] {
+            let mut k = KeySource::new(sched);
+            let reference = q.schedule(3, &mut k, &n).to_vec();
+            // (key, seq) is unique per event…
+            let mut ks: Vec<(u128, u32)> = reference.iter().map(|&(k, s, _)| (k, s)).collect();
+            ks.sort_unstable();
+            ks.dedup();
+            assert_eq!(
+                ks.len(),
+                reference.len(),
+                "(key, seq) collision under {sched:?}"
+            );
+            // …so any permutation of the keyed set re-sorts to the
+            // identical schedule, and the digest chained over execution
+            // is invariant.
+            for shuffle_seed in 0..4u64 {
+                let mut permuted = reference.clone();
+                permuted.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+                permuted.sort_unstable_by_key(|e| (e.0, e.1));
+                assert_eq!(reference, permuted, "re-sort diverged under {sched:?}");
+                assert_eq!(
+                    digest_of(&reference),
+                    digest_of(&permuted),
+                    "digest diverged under {sched:?}"
+                );
+            }
+        }
+    }
+
+    /// Fold an execution order into the replay digest, the way
+    /// `step_round_digest` chains what actually ran.
+    fn digest_of(events: &[Pending]) -> u64 {
+        let mut d = crate::trace::Digest::new();
+        for &(_, _, a) in events {
+            match a {
+                Action::Tick(v) => {
+                    d.write_u32(0);
+                    d.write_u32(v);
+                }
+                Action::Deliver(f, t) => {
+                    d.write_u32(1);
+                    d.write_u32(f);
+                    d.write_u32(t);
+                }
+            }
+        }
+        d.value()
+    }
+
+    /// Re-derive the same obligations as [`EventQueue::schedule`] but
+    /// request daemon keys in *reverse* enumeration order (seq still
+    /// records canonical positions, so ties break identically).
+    fn reversed_enumeration<A: Automaton>(
+        q: &EventQueue,
+        round: u64,
+        keys: &mut KeySource,
+        net: &Network<A>,
+    ) -> Vec<Pending> {
+        let mut actions: Vec<Action> = Vec::new();
+        let mut ticks: Vec<NodeId> = q.ticks.members().to_vec();
+        ticks.sort_unstable();
+        for &v in &ticks {
+            actions.push(Action::Tick(v));
+        }
+        let mut slots = Vec::new();
+        net.occupied_slots_into(&mut slots);
+        slots.sort_unstable();
+        for &s in &slots {
+            let (from, to) = net.slot_endpoints(s);
+            for _ in 0..net.slot_len(s) {
+                actions.push(Action::Deliver(from, to));
+            }
+        }
+        let mut buf: Vec<Pending> = Vec::with_capacity(actions.len());
+        for (i, a) in actions.iter().enumerate().rev() {
+            buf.push((keys.key(round, a), i as u32, *a));
+        }
+        buf.sort_unstable_by_key(|e| (e.0, e.1));
+        buf
+    }
+
+    /// What the contract deliberately does NOT promise: invariance to the
+    /// *enumeration* (key-request) order. The stateless daemons key each
+    /// action by a pure function of `(round, action)`, so they tolerate
+    /// any enumeration order; `RandomAsync` draws each key from a seeded
+    /// stream — the i-th request gets the i-th draw — so reversing the
+    /// enumeration reassigns every key and the schedule legitimately
+    /// changes. That is exactly why obligation enumeration must be
+    /// canonical (ticks ascending by node id, deliveries ascending by
+    /// slot id) and why R1 bans unordered collections in derivation code.
+    #[test]
+    fn enumeration_order_is_contractual_only_for_the_stateful_daemon() {
+        let mut n = net(true);
+        let mut q = EventQueue::new();
+        q.refresh(&mut n);
+        n.tick_node(0);
+        n.tick_node(1);
+        q.refresh(&mut n);
+        let actions_of = |evs: &[Pending]| evs.iter().map(|&(_, _, a)| a).collect::<Vec<_>>();
+        for sched in [Scheduler::Synchronous, Scheduler::Adversarial { seed: 7 }] {
+            let mut k1 = KeySource::new(sched);
+            let canonical = q.schedule(2, &mut k1, &n).to_vec();
+            let mut k2 = KeySource::new(sched);
+            let reversed = reversed_enumeration(&q, 2, &mut k2, &n);
+            assert_eq!(
+                actions_of(&canonical),
+                actions_of(&reversed),
+                "stateless daemon {sched:?} must tolerate any enumeration order"
+            );
+        }
+        let mut k1 = KeySource::new(Scheduler::RandomAsync { seed: 7 });
+        let canonical = q.schedule(2, &mut k1, &n).to_vec();
+        let mut k2 = KeySource::new(Scheduler::RandomAsync { seed: 7 });
+        let reversed = reversed_enumeration(&q, 2, &mut k2, &n);
+        assert_ne!(
+            actions_of(&canonical),
+            actions_of(&reversed),
+            "a stateful daemon keyed in a different enumeration order must diverge \
+             (if it did not, the canonical-order rule would be unnecessary)"
+        );
     }
 }

@@ -51,6 +51,11 @@
 //! underneath. Convergence detection lives in one named predicate,
 //! [`stop::QuiescenceGate`], shared by every driver.
 
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod automaton;
 pub mod backend;
 pub(crate) mod dense;

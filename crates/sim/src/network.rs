@@ -343,7 +343,7 @@ impl<A: Automaton> Network<A> {
     /// step). Returns `false` if the channel was empty.
     pub fn deliver_one(&mut self, from: NodeId, to: NodeId) -> bool {
         let Some(slot) = self.slot_of(from, to) else {
-            panic!("deliver_one: ({from},{to}) is not a channel");
+            panic!("deliver_one: ({from},{to}) is not a channel"); // lint: allow(no-panic-in-library) — documented precondition: callers enumerate live channels
         };
         let Some(msg) = self.channels[slot as usize].pop_front() else {
             return false;
@@ -379,7 +379,7 @@ impl<A: Automaton> Network<A> {
         for _ in 0..k {
             let msg = self.channels[slot as usize]
                 .pop_front()
-                .expect("delivery run over-popped its channel");
+                .expect("delivery run over-popped its channel"); // lint: allow(no-panic-in-library) — k is clamped to the channel length at enumeration time
             self.in_flight -= 1;
             self.metrics.on_deliver(msg.kind());
             let mut out = std::mem::take(&mut self.outbox);
@@ -406,7 +406,7 @@ impl<A: Automaton> Network<A> {
                     self.metrics.dropped_sends += 1;
                     continue;
                 }
-                panic!("node {from} sent to non-neighbor {to}");
+                panic!("node {from} sent to non-neighbor {to}"); // lint: allow(no-panic-in-library) — protocol bug trap on static topologies; dynamic runs drop instead
             };
             self.metrics.on_send(msg.kind(), msg.size_bits(n));
             let q = &mut self.channels[slot as usize];
@@ -609,7 +609,7 @@ impl<A: Automaton> Network<A> {
         for (v, nbrs) in self.topo.iter().enumerate() {
             for &u in nbrs {
                 if (v as NodeId) < u {
-                    b.add_edge(v as NodeId, u).expect("topology ids in range");
+                    b.add_edge(v as NodeId, u).expect("topology ids in range"); // lint: allow(no-panic-in-library) — adjacency rows only hold live node ids < n
                 }
             }
         }
@@ -726,7 +726,7 @@ impl<A: Automaton> Network<A> {
                 );
             }
         }
-        let free: std::collections::HashSet<u32> = self.free_slots.iter().copied().collect();
+        let free: std::collections::BTreeSet<u32> = self.free_slots.iter().copied().collect();
         assert_eq!(
             free.len(),
             self.free_slots.len(),

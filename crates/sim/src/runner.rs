@@ -228,6 +228,7 @@ impl<A: Automaton> Runner<A> {
         self.net.metrics.rounds = self.round;
     }
 
+    // lint: hot-path
     fn execute(net: &mut Network<A>, events: &[(u128, u32, Action)]) {
         for &(_, _, act) in events {
             match act {
@@ -254,6 +255,7 @@ impl<A: Automaton> Runner<A> {
     /// collapse into one [`Network::deliver_run`] call, so the channel
     /// address is resolved zero times (the schedule carries it) instead of
     /// once per message.
+    // lint: hot-path
     fn execute_slotted(net: &mut Network<A>, events: &[PendingSlot]) {
         let mut i = 0;
         while i < events.len() {

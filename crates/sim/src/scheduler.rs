@@ -80,7 +80,7 @@ impl KeySource {
                 Action::Deliver(f, t) => (1u128 << 96) | ((f as u128) << 32) | t as u128,
             },
             Scheduler::RandomAsync { .. } => {
-                let rng = self.rng.as_mut().expect("random daemon has rng");
+                let rng = self.rng.as_mut().expect("random daemon has rng"); // lint: allow(no-panic-in-library) — KeySource::new seeds rng whenever the daemon is RandomAsync
                 rng.random::<u64>() as u128
             }
             Scheduler::Adversarial { seed } => hash_action(seed, round, a) as u128,

@@ -75,6 +75,11 @@
 //! assert!(out.converged());
 //! ```
 
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub use ssmdst_baselines as baselines;
 pub use ssmdst_core as core;
 pub use ssmdst_graph as graph;
