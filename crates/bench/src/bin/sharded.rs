@@ -1,0 +1,226 @@
+//! S4 experiment family: million-node rounds on the sharded backend.
+//!
+//! ```text
+//! cargo run --release -p ssmdst-bench --bin sharded -- --json BENCH_sharded.json
+//! cargo run --release -p ssmdst-bench --bin sharded -- --n 100000 --rounds 4   # S4-mini (CI smoke)
+//! ```
+//!
+//! Measures the round loop at the scale the sharded backend exists for:
+//! message-dense gossip on a sparse G(n, p) instance (mean degree 4) at
+//! n ≥ 10⁶, one row per shard count. Each row reports **rounds/sec** and
+//! **scaling efficiency** `T(sharded:1) / (K · T(sharded:K))` — the
+//! fraction of ideal K-way speedup realized. The reference backend runs
+//! the same workload for context, and every row's chained
+//! `ScheduleDigest` is asserted equal to the reference digest in-bench:
+//! a timing for a run that was not bit-exact is never reported.
+//!
+//! The JSON document also records `available_parallelism`: on a 1-core
+//! host the efficiency column measures pure sharding overhead (no
+//! speedup is physically possible), which is exactly what makes the
+//! committed numbers interpretable across machines.
+
+use ssmdst_bench::{json_string, Table};
+use ssmdst_graph::generators::random::gnp_connected_sparse;
+use ssmdst_graph::Graph;
+use ssmdst_sim::{Automaton, Backend, Digest, Message, Network, Outbox, Runner, Scheduler};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct Beat(u32);
+impl Message for Beat {
+    fn kind(&self) -> &'static str {
+        "Beat"
+    }
+    fn size_bits(&self, _n: usize) -> usize {
+        32
+    }
+}
+
+/// Floods a counter to every neighbor each round — the obligation-dense
+/// regime (n ticks + 2m deliveries per round, nothing quiesces), so the
+/// timing isolates the round loop, not protocol logic.
+#[derive(Debug)]
+struct Gossip {
+    neighbors: Vec<u32>,
+    beat: u32,
+    heard: u64,
+}
+
+impl Automaton for Gossip {
+    type Msg = Beat;
+    fn tick(&mut self, out: &mut Outbox<Beat>) {
+        self.beat += 1;
+        for &w in &self.neighbors {
+            out.send(w, Beat(self.beat));
+        }
+    }
+    fn receive(&mut self, _from: u32, msg: Beat, _out: &mut Outbox<Beat>) {
+        self.heard += msg.0 as u64;
+    }
+}
+
+fn gossip_net(g: &Graph) -> Network<Gossip> {
+    Network::from_graph(g, |_, nbrs| Gossip {
+        neighbors: nbrs.to_vec(),
+        beat: 0,
+        heard: 0,
+    })
+}
+
+struct Measured {
+    wall_ms: u128,
+    digest: u64,
+    delivered: u64,
+}
+
+/// Time `rounds` rounds (after one untimed warm-up round, so buffer
+/// growth and first-touch page faults land outside the window) and chain
+/// the schedule digest of the *timed* rounds.
+fn measure(g: &Graph, backend: Backend, rounds: u64) -> Measured {
+    let mut runner = Runner::new(gossip_net(g), Scheduler::Synchronous);
+    runner.set_backend(backend);
+    runner.step_round();
+    let mut digest = Digest::new();
+    let started = Instant::now(); // lint: allow(no-ambient-entropy) — observation-side wall-clock for the timing column; never feeds simulation state
+    for _ in 0..rounds {
+        runner.step_round_digest(&mut digest);
+    }
+    Measured {
+        wall_ms: started.elapsed().as_millis(),
+        digest: digest.value(),
+        delivered: runner.network().metrics.total_delivered,
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => p.clone(),
+            _ => {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            }
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = arg_value(&args, "--json");
+    // Comma-separated sizes; the default is the committed S4 row. CI's
+    // S4-mini smoke passes `--n 100000`.
+    let sizes: Vec<usize> = arg_value(&args, "--n")
+        .unwrap_or_else(|| "1000000".to_string())
+        .split(',')
+        .map(|s| {
+            s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: --n takes comma-separated node counts, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let rounds: u64 = arg_value(&args, "--rounds")
+        .map(|r| {
+            r.parse().unwrap_or_else(|_| {
+                eprintln!("error: --rounds takes an integer, got {r:?}");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(6);
+    let shard_counts = [1usize, 2, 4, 8];
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    println!("# ssmdst S4: sharded million-node rounds (bit-exactness asserted per row)");
+    println!("# host parallelism: {cores}");
+    let mut json_entries: Vec<String> = Vec::new();
+    let mut table = Table::new(vec![
+        "workload",
+        "backend",
+        "wall_ms",
+        "rounds/s",
+        "efficiency",
+        "digest",
+    ]);
+
+    for &n in &sizes {
+        let id = format!("s4-n{n}");
+        println!("\n## {id} — gossip on sparse G(n, 4/n), sync, {rounds} rounds, n = {n}");
+        let g = gnp_connected_sparse(n, 4.0 / n as f64, 42);
+        println!("#   instance: n = {} m = {}", g.n(), g.m());
+
+        // Reference row first: the digest every sharded row must match.
+        let reference = measure(&g, Backend::Reference, rounds);
+        let mut base_wall: Option<u128> = None; // sharded:1 wall time
+        let mut rows: Vec<(Backend, Measured, Option<f64>)> =
+            vec![(Backend::Reference, reference, None)];
+        for k in shard_counts {
+            let m = measure(&g, Backend::Sharded { shards: k }, rounds);
+            assert_eq!(
+                m.digest, rows[0].1.digest,
+                "{id}: sharded:{k} diverged from reference digest"
+            );
+            if k == 1 {
+                base_wall = Some(m.wall_ms);
+            }
+            let efficiency = base_wall.map(|t1| t1 as f64 / (k as f64 * m.wall_ms.max(1) as f64));
+            rows.push((Backend::Sharded { shards: k }, m, efficiency));
+        }
+
+        for (backend, m, efficiency) in &rows {
+            let rps = rounds_per_sec(rounds, m.wall_ms);
+            let eff_txt = efficiency
+                .map(|e| format!("{e:.2}"))
+                .unwrap_or_else(|| "-".to_string());
+            println!(
+                "  {backend:<10} wall={:>6}ms  {rps:>7.2} rounds/s  eff={eff_txt}  digest={:016x}",
+                m.wall_ms, m.digest
+            );
+            table.row(vec![
+                id.clone(),
+                backend.to_string(),
+                m.wall_ms.to_string(),
+                format!("{rps:.2}"),
+                eff_txt,
+                format!("{:016x}", m.digest),
+            ]);
+            json_entries.push(format!(
+                "{{\"id\":{},\"title\":{},\"n\":{n},\"m\":{},\"rounds\":{rounds},\"wall_ms\":{},\
+                 \"rounds_per_sec\":{rps:.3},\"scaling_efficiency\":{},\"digest\":\"{:016x}\",\
+                 \"delivered\":{}}}",
+                json_string(&format!("{id}-{backend}")),
+                json_string(&format!(
+                    "S4 — gossip on sparse G({n}, 4/n), sync, {rounds} rounds, {backend}"
+                )),
+                g.m(),
+                m.wall_ms,
+                efficiency
+                    .map(|e| format!("{e:.3}"))
+                    .unwrap_or_else(|| "null".to_string()),
+                m.digest,
+                m.delivered,
+            ));
+        }
+    }
+
+    println!("\n## summary\n");
+    print!("{}", table.render());
+
+    if let Some(path) = json_path {
+        let doc = format!(
+            "{{\"suite\":\"ssmdst-sharded\",\"profile\":{},\"available_parallelism\":{cores},\
+             \"experiments\":[\n{}\n]}}\n",
+            json_string("default"),
+            json_entries.join(",\n")
+        );
+        std::fs::write(&path, doc).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Rounds per second from a wall-time; clamped away from division by zero
+/// for sub-millisecond runs (S4-mini on fast hardware).
+fn rounds_per_sec(rounds: u64, wall_ms: u128) -> f64 {
+    rounds as f64 * 1000.0 / wall_ms.max(1) as f64
+}

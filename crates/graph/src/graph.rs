@@ -261,6 +261,17 @@ impl GraphBuilder {
         self.edges.sort_unstable();
         self.edges.dedup();
         let n = self.n as usize;
+        // Index-width contract (checked builds): the CSR offsets and the
+        // directed slot ids are u32, so the directed edge count `2m` must
+        // fit. At the 10M-node scale a sparse instance has `2m` in the
+        // tens of millions — three orders of magnitude of headroom — but
+        // an overflow here would silently wrap `row_ptr` and corrupt every
+        // slot address, so it must be a loud checked-build failure.
+        debug_assert!(
+            self.edges.len() <= (u32::MAX / 2) as usize,
+            "directed slot count 2m = {} overflows the u32 CSR offsets",
+            2 * self.edges.len()
+        );
         let mut row_ptr = vec![0u32; n + 1];
         for &(u, v) in &self.edges {
             row_ptr[u as usize + 1] += 1;

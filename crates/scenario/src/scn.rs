@@ -35,9 +35,11 @@ pub fn render(s: &Scenario) -> String {
         let _ = writeln!(out, "protocol = {}", s.protocol.label());
     }
     // Same omission contract for the execution backend: the default
-    // (reference) keeps pre-backend scenario texts byte-identical.
+    // (reference) keeps pre-backend scenario texts byte-identical. The
+    // Display form (not the bare family label) round-trips the sharded
+    // backend's shard count (`backend = sharded:4`).
     if s.backend != Backend::default() {
-        let _ = writeln!(out, "backend = {}", s.backend.label());
+        let _ = writeln!(out, "backend = {}", s.backend);
     }
     let _ = writeln!(out, "topology = {}", render_topology(&s.topology));
     let _ = writeln!(out, "scheduler = {}", render_scheduler(&s.scheduler));
@@ -581,11 +583,17 @@ mod tests {
         assert!(!text.contains("backend ="), "default must be omitted");
         assert_eq!(parse(&text).unwrap().backend, Backend::Reference);
 
-        for b in [Backend::Batched, Backend::Soa] {
+        for b in [
+            Backend::Batched,
+            Backend::Soa,
+            Backend::Sharded { shards: 4 },
+            Backend::Sharded { shards: 1 },
+        ] {
             let mut s = reference.clone();
             s.backend = b;
             let text = render(&s);
-            assert!(text.contains(&format!("backend = {}", b.label())), "{text}");
+            // Display form, so `sharded:4` keeps its count in the text.
+            assert!(text.contains(&format!("backend = {b}")), "{text}");
             let parsed = parse(&text).unwrap();
             assert_eq!(parsed, s);
             assert_eq!(

@@ -38,7 +38,12 @@ fn assert_backends_conform(scn: &Scenario, ctx: &str) {
     let mut reference = scn.clone();
     reference.backend = Backend::Reference;
     let (ref_out, ref_trace) = engine::run_traced_any(&reference);
-    for backend in [Backend::Batched, Backend::Soa] {
+    for backend in [
+        Backend::Batched,
+        Backend::Soa,
+        Backend::Sharded { shards: 1 },
+        Backend::Sharded { shards: 3 },
+    ] {
         let mut candidate = scn.clone();
         candidate.backend = backend;
         let (out, trace) = engine::run_traced_any(&candidate);

@@ -25,9 +25,16 @@
 //!   and occupancy indices are mirrored into flat `u64` bit-words
 //!   (64 nodes / slots per word), and the sorted enumeration falls out of
 //!   an ascending word scan instead of comparison-sorting scratch
-//!   vectors. Pre-stages the flattened-state layout the future sharded
-//!   loop needs. Executes through the same slot-batched path as
+//!   vectors. Pre-stages the flattened-state layout the sharded loop
+//!   builds on. Executes through the same slot-batched path as
 //!   [`Backend::Batched`].
+//! * [`Backend::Sharded`] — the round body fans out across worker
+//!   threads: nodes are split into contiguous shards, each shard executes
+//!   its own events against pre-staged channel contents, and a
+//!   deterministic round-barrier merge re-applies every send in canonical
+//!   schedule order (see `crate::shard`). Derivation, key draws and the
+//!   merge stay sequential, which is what keeps the digest byte-identical
+//!   for *any* shard count.
 //!
 //! Conformance is enforced by a ladder (unit equivalence tests here,
 //! golden traces, the full `.scn` corpus, and a storm-mutant sweep in
@@ -49,39 +56,83 @@ pub enum Backend {
     Batched,
     /// Bit-word (struct-of-arrays) obligation projection.
     Soa,
+    /// Round body sharded across `shards` worker threads with a
+    /// deterministic round-barrier merge. `shards == 1` runs the same
+    /// stage/execute/merge pipeline inline (no thread spawn).
+    Sharded {
+        /// Number of contiguous node shards (and worker threads). Clamped
+        /// to at least 1 by [`Backend::parse`]; a count above the node
+        /// count simply leaves trailing shards empty.
+        shards: usize,
+    },
 }
 
-impl Backend {
-    /// Every registered backend, reference first — the iteration order of
-    /// the conformance ladder.
-    pub const ALL: [Backend; 3] = [Backend::Reference, Backend::Batched, Backend::Soa];
+/// Shard count used by the bare `sharded` label (no explicit `:K`). A
+/// fixed constant — never derived from the host's core count, which would
+/// leak ambient machine state into `.scn` files and CI matrix legs.
+pub const DEFAULT_SHARDS: usize = 4;
 
-    /// Stable lowercase label, used by `.scn` files and `--backend`.
+impl Backend {
+    /// Every registered backend family, reference first — the iteration
+    /// order of the conformance ladder. The sharded entry uses a shard
+    /// count that does not divide typical node counts evenly, so the
+    /// ladder always exercises ragged shard boundaries.
+    pub const ALL: [Backend; 4] = [
+        Backend::Reference,
+        Backend::Batched,
+        Backend::Soa,
+        Backend::Sharded { shards: 3 },
+    ];
+
+    /// Stable lowercase family label, used by `.scn` files, `--backend`
+    /// and the CI matrix. The sharded family renders its shard count only
+    /// through [`fmt::Display`] (`sharded:3`); the label is the family
+    /// name alone.
     pub fn label(self) -> &'static str {
         match self {
             Backend::Reference => "reference",
             Backend::Batched => "batched",
             Backend::Soa => "soa",
+            Backend::Sharded { .. } => "sharded",
         }
     }
 
     /// Parse a label; unknown names are an error that lists the options
-    /// (never a silent fall-through to the reference backend).
+    /// (never a silent fall-through to the reference backend). The
+    /// sharded family accepts `sharded` (a fixed default of
+    /// [`DEFAULT_SHARDS`] shards) or `sharded:K` for an explicit count.
     pub fn parse(s: &str) -> Result<Backend, String> {
         match s {
             "reference" => Ok(Backend::Reference),
             "batched" => Ok(Backend::Batched),
             "soa" => Ok(Backend::Soa),
-            other => Err(format!(
-                "unknown backend {other:?} (reference | batched | soa)"
-            )),
+            "sharded" => Ok(Backend::Sharded {
+                shards: DEFAULT_SHARDS,
+            }),
+            other => {
+                if let Some(count) = other.strip_prefix("sharded:") {
+                    return match count.parse::<usize>() {
+                        Ok(shards) if shards >= 1 => Ok(Backend::Sharded { shards }),
+                        _ => Err(format!(
+                            "bad shard count {count:?} in backend {other:?} \
+                             (sharded:K needs an integer K >= 1)"
+                        )),
+                    };
+                }
+                Err(format!(
+                    "unknown backend {other:?} (reference | batched | soa | sharded[:K])"
+                ))
+            }
         }
     }
 }
 
 impl fmt::Display for Backend {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
+        match self {
+            Backend::Sharded { shards } => write!(f, "sharded:{shards}"),
+            other => f.write_str(other.label()),
+        }
     }
 }
 
@@ -92,7 +143,14 @@ mod tests {
     #[test]
     fn labels_round_trip() {
         for b in Backend::ALL {
-            assert_eq!(Backend::parse(b.label()), Ok(b));
+            // The Display form always parses back to the exact variant
+            // (the sharded family carries its count, `sharded:3`)…
+            assert_eq!(Backend::parse(&b.to_string()), Ok(b));
+            // …and every Display form starts with the family label.
+            assert!(b.to_string().starts_with(b.label()), "{b}");
+        }
+        // The three flat backends still print their bare label.
+        for b in [Backend::Reference, Backend::Batched, Backend::Soa] {
             assert_eq!(b.to_string(), b.label());
         }
     }
@@ -103,9 +161,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_label_parses_with_and_without_count() {
+        assert_eq!(
+            Backend::parse("sharded"),
+            Ok(Backend::Sharded {
+                shards: DEFAULT_SHARDS
+            })
+        );
+        for shards in [1usize, 2, 7, 64] {
+            assert_eq!(
+                Backend::parse(&format!("sharded:{shards}")),
+                Ok(Backend::Sharded { shards })
+            );
+        }
+        for bad in ["sharded:0", "sharded:", "sharded:-2", "sharded:two"] {
+            let err = Backend::parse(bad).unwrap_err();
+            assert!(err.contains("shard count"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
     fn unknown_label_lists_the_options() {
-        let err = Backend::parse("sharded").unwrap_err();
-        assert!(err.contains("\"sharded\""), "names the bad input: {err}");
+        let err = Backend::parse("warp9").unwrap_err();
+        assert!(err.contains("\"warp9\""), "names the bad input: {err}");
         for b in Backend::ALL {
             assert!(err.contains(b.label()), "lists {}: {err}", b.label());
         }

@@ -52,12 +52,24 @@ impl DenseSet {
 
     /// Insert `key`; no-op if already present. Amortized O(1) (the `pos`
     /// table grows to cover the largest key ever seen, then stays put).
+    ///
+    /// Index-width contract (checked in debug builds): `key` must stay
+    /// below `u32::MAX` — the sentinel — and the member count below
+    /// `u32::MAX`, or the position table silently corrupts. At the 10M-node
+    /// scale keys are node ids or channel slots (`< 2m`), both far under
+    /// the boundary, but the assertion turns a future overflow into a
+    /// loud checked-build failure instead of a wrong answer.
     #[inline]
     pub(crate) fn insert(&mut self, key: u32) {
+        debug_assert_ne!(key, NONE, "DenseSet key collides with the NONE sentinel");
         if self.pos.len() <= key as usize {
             self.pos.resize(key as usize + 1, NONE);
         }
         if self.pos[key as usize] == NONE {
+            debug_assert!(
+                self.list.len() < NONE as usize,
+                "DenseSet member count overflows the u32 position table"
+            );
             self.pos[key as usize] = self.list.len() as u32;
             self.list.push(key);
         }
@@ -158,6 +170,29 @@ mod tests {
         s.check_consistent();
         s.insert(7);
         assert_eq!(s.members(), &[7]);
+    }
+
+    /// Regression fence at the u32 boundary: `u32::MAX` is the NONE
+    /// sentinel, so inserting it must fail loudly in checked builds
+    /// rather than silently aliasing "absent" (querying or removing it is
+    /// still a harmless no-op — the sentinel can never have been
+    /// inserted). The assertion fires before the pos table would try to
+    /// grow to cover the 4-billion-key universe.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "NONE sentinel")]
+    fn sentinel_key_panics_in_checked_builds() {
+        DenseSet::new().insert(u32::MAX);
+    }
+
+    #[test]
+    fn sentinel_key_reads_as_absent() {
+        let mut s = DenseSet::new();
+        s.insert(7);
+        assert!(!s.contains(u32::MAX));
+        s.remove(u32::MAX); // no-op, not a panic
+        assert_eq!(s.members(), &[7]);
+        s.check_consistent();
     }
 
     #[test]

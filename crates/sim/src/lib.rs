@@ -69,6 +69,7 @@ pub mod protocols;
 pub mod runner;
 pub mod scheduler;
 pub mod session;
+pub(crate) mod shard;
 pub mod stop;
 pub mod trace;
 

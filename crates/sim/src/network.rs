@@ -98,6 +98,20 @@ pub struct Network<A: Automaton> {
     pub metrics: Metrics,
 }
 
+/// Disjoint borrows of the fabric state the sharded backend's per-shard
+/// executors need (see [`Network::fabric_parts`]): automata mutably — the
+/// shard engine splits `nodes` into contiguous per-shard ranges with
+/// `chunks_mut` — topology and liveness read-only. Channels, occupancy and
+/// metrics are deliberately absent: shards never touch them; all fabric
+/// mutation funnels through the sequential stage/merge methods.
+pub(crate) struct FabricParts<'a, A: Automaton> {
+    pub nodes: &'a mut [A],
+    pub topo: &'a [Vec<NodeId>],
+    pub out_slot: &'a [Vec<u32>],
+    pub alive: &'a [bool],
+    pub dynamic: bool,
+}
+
 impl<A: Automaton> Network<A> {
     /// Build a network over `g`; `make(v, neighbors)` constructs node `v`'s
     /// automaton (typically capturing the neighbor list and an arbitrary —
@@ -319,7 +333,11 @@ impl<A: Automaton> Network<A> {
         }
     }
 
-    fn mark_dirty(&mut self, v: NodeId) {
+    /// Queue `v` for enabled-predicate re-evaluation (idempotent).
+    /// Engine-internal: the sharded merge replays per-shard dirty lists
+    /// through this, so cross-shard duplicates collapse exactly as the
+    /// sequential path's do.
+    pub(crate) fn mark_dirty(&mut self, v: NodeId) {
         if !self.dirty_flag[v as usize] {
             self.dirty_flag[v as usize] = true;
             self.dirty.push(v);
@@ -420,6 +438,106 @@ impl<A: Automaton> Network<A> {
     }
 
     // ------------------------------------------------------------------
+    // Sharded-engine access surface (crate::shard)
+    //
+    // The sharded backend splits one round into three phases — stage
+    // (sequential), execute (parallel over disjoint node ranges), merge
+    // (sequential, canonical schedule order). The network stays the single
+    // owner of every fabric invariant: the shard engine only ever touches
+    // channels, occupancy, in-flight accounting and metrics through the
+    // methods below, each of which mirrors exactly one slice of what
+    // `route`/`deliver_one` do on the sequential path.
+    // ------------------------------------------------------------------
+
+    /// Disjoint borrows of the state the per-shard executors need:
+    /// automata mutably (split into shard ranges by the caller), topology
+    /// and liveness read-only. Topology is frozen for the whole round
+    /// (churn happens between rounds), so sharing it is sound.
+    pub(crate) fn fabric_parts(&mut self) -> FabricParts<'_, A> {
+        FabricParts {
+            nodes: &mut self.nodes,
+            topo: &self.topo,
+            out_slot: &self.out_slot,
+            alive: &self.alive,
+            dynamic: self.dynamic,
+        }
+    }
+
+    /// Stage phase: move every non-empty channel's queue out of the
+    /// fabric, handing `(slot, receiver, queue)` to `f` (the shard engine
+    /// banks it in the receiver's shard inbox). Every message in a staged
+    /// queue is one of this round's delivery obligations — sends during
+    /// the round land in the (emptied) fabric queues at merge time and
+    /// become next round's obligations — so delivery metrics are recorded
+    /// here, where the per-kind sums are order-independent. Slots are
+    /// visited in ascending id order so the metrics kind table fills
+    /// deterministically. `in_flight` is left untouched: the merge replays
+    /// each delivery's decrement at its canonical schedule position.
+    // lint: hot-path
+    pub(crate) fn stage_out_channels(&mut self, mut f: impl FnMut(u32, NodeId, VecDeque<A::Msg>)) {
+        let mut scratch = std::mem::take(&mut self.slot_scratch);
+        self.occupied_slots_into(&mut scratch);
+        scratch.sort_unstable();
+        for &s in &scratch {
+            let q = std::mem::take(&mut self.channels[s as usize]);
+            for m in &q {
+                self.metrics.on_deliver(m.kind());
+            }
+            f(s, self.slot_ends[s as usize].1, q);
+        }
+        self.occ.clear();
+        self.slot_scratch = scratch;
+    }
+
+    /// Return a staged queue (drained by the execute phase) to its slot,
+    /// preserving its capacity for the merge phase's pushes — this is what
+    /// keeps the sharded steady state allocation-free. Must run before the
+    /// merge applies sends to `slot`.
+    // lint: hot-path
+    pub(crate) fn return_channel(&mut self, slot: u32, q: VecDeque<A::Msg>) {
+        debug_assert!(q.is_empty(), "staged channel {slot} not fully delivered");
+        debug_assert!(self.channels[slot as usize].is_empty());
+        self.channels[slot as usize] = q;
+    }
+
+    /// Merge phase: apply one send to `slot` — metrics, occupancy
+    /// transition, FIFO push, in-flight increment — exactly the per-message
+    /// body of `route`.
+    // lint: hot-path
+    pub(crate) fn merge_send(&mut self, slot: u32, msg: A::Msg) {
+        self.metrics
+            .on_send(msg.kind(), msg.size_bits(self.nodes.len()));
+        let q = &mut self.channels[slot as usize];
+        if q.is_empty() {
+            self.occ.insert(slot);
+        }
+        q.push_back(msg);
+        self.in_flight += 1;
+    }
+
+    /// Merge phase: account one send that resolved to no live channel
+    /// (stale neighbor mirror after churn) — the dynamic-topology drop
+    /// branch of `route`.
+    pub(crate) fn merge_dropped_send(&mut self) {
+        self.metrics.dropped_sends += 1;
+    }
+
+    /// Merge phase: account one staged message as delivered (the
+    /// `in_flight -= 1` that `deliver_one` performs before routing).
+    // lint: hot-path
+    pub(crate) fn merge_deliver_accounted(&mut self) {
+        self.in_flight -= 1;
+    }
+
+    /// Merge phase: sample the in-flight high-water mark, mirroring the
+    /// single `on_in_flight` call `route` makes at the end of every
+    /// executed event.
+    // lint: hot-path
+    pub(crate) fn sample_in_flight(&mut self) {
+        self.metrics.on_in_flight(self.in_flight);
+    }
+
+    // ------------------------------------------------------------------
     // Dynamic topology (slot tombstones, no map churn)
     // ------------------------------------------------------------------
 
@@ -439,6 +557,14 @@ impl<A: Automaton> Network<A> {
                 s
             }
             None => {
+                // Index-width contract (checked builds): slot ids are u32
+                // and `u32::MAX` is reserved (the shard engine's DROPPED
+                // sentinel, events.rs NO_SLOT) — growth past it would wrap
+                // every later slot address.
+                debug_assert!(
+                    self.channels.len() < u32::MAX as usize,
+                    "slot id overflows u32 (and would collide with NO_SLOT)"
+                );
                 self.channels.push(VecDeque::new());
                 self.slot_ends.push((u, v));
                 self.slot_live.push(true);

@@ -69,12 +69,14 @@ where
 }
 
 /// Number of workers to use by default: the available parallelism, capped
-/// so laptop runs stay responsive.
+/// so laptop runs stay responsive, and clamped to ≥ 1 — on platforms where
+/// `available_parallelism` errors (it already falls back to 1) *or* where a
+/// future cap expression evaluates to 0, the sweep must still run.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
-        .min(16)
+        .clamp(1, 16)
 }
 
 #[cfg(test)]
@@ -108,6 +110,39 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+        assert!(default_workers() <= 16);
+    }
+
+    /// Degenerate split: more workers than inputs must not spawn workers
+    /// that have nothing to do. The job records which threads actually ran
+    /// work; with 64 requested workers over 3 inputs, at most 3 distinct
+    /// threads may ever touch a job (the spawn loop clamps to
+    /// `workers.min(n)`), and the output is still complete and ordered.
+    #[test]
+    fn more_workers_than_inputs_spawns_no_empty_workers() {
+        let seen = Mutex::new(Vec::<std::thread::ThreadId>::new());
+        let out = run_many(vec![10u32, 20, 30], 64, |&x| {
+            let mut ids = seen.lock();
+            let id = std::thread::current().id();
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+            x + 1
+        });
+        assert_eq!(out, vec![11, 21, 31]);
+        let distinct = seen.lock().len();
+        assert!(
+            (1..=3).contains(&distinct),
+            "3 inputs must use at most 3 worker threads, saw {distinct}"
+        );
+    }
+
+    /// The same clamp at the extreme: `usize::MAX` workers over a handful
+    /// of inputs completes instead of trying to spawn the impossible.
+    #[test]
+    fn absurd_worker_count_is_clamped_to_input_count() {
+        let out = run_many((0..5u32).collect(), usize::MAX, |&x| x * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
     }
 
     /// `workers = 0` means "run anyway, sequentially" — not "no workers".

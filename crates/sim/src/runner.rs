@@ -101,6 +101,9 @@ pub struct Runner<A: Automaton> {
     queue: EventQueue,
     round: u64,
     backend: Backend,
+    /// Per-shard buffers for [`Backend::Sharded`]; empty (and never
+    /// allocated) unless that backend runs.
+    shard: crate::shard::ShardEngine<A::Msg>,
 }
 
 impl<A: Automaton> Runner<A> {
@@ -113,6 +116,7 @@ impl<A: Automaton> Runner<A> {
             queue: EventQueue::new(),
             round: 0,
             backend: Backend::Reference,
+            shard: crate::shard::ShardEngine::new(),
         }
     }
 
@@ -188,6 +192,19 @@ impl<A: Automaton> Runner<A> {
                     obs.on_event(key, idx, act);
                 }
                 Self::execute_slotted(&mut self.net, events);
+            }
+            Backend::Sharded { shards } => {
+                // Derivation and key draws stay sequential (the SoA
+                // bit-word projection); only execution fans out. The
+                // shard engine's round-barrier merge re-applies sends in
+                // this exact schedule order — see `crate::shard`.
+                let events = self
+                    .queue
+                    .schedule_soa(self.round, &mut self.keys, &self.net);
+                for &(key, idx, act, _) in events {
+                    obs.on_event(key, idx, act);
+                }
+                self.shard.run_round(&mut self.net, events, shards);
             }
         }
         self.round += 1;
@@ -521,7 +538,15 @@ mod tests {
             Scheduler::Adversarial { seed: 21 },
         ] {
             let reference = run(Backend::Reference, sched);
-            for b in [Backend::Batched, Backend::Soa] {
+            for b in [
+                Backend::Batched,
+                Backend::Soa,
+                // 1 = inline pipeline, 3 = ragged split of n = 9,
+                // 8 = near-degenerate (one node per shard, one empty).
+                Backend::Sharded { shards: 1 },
+                Backend::Sharded { shards: 3 },
+                Backend::Sharded { shards: 8 },
+            ] {
                 assert_eq!(reference, run(b, sched), "{b} diverged under {sched:?}");
             }
         }
@@ -530,7 +555,7 @@ mod tests {
         let sched = Scheduler::RandomAsync { seed: 21 };
         let mut r = Runner::new(min_net(9), sched);
         for round in 0..40 {
-            r.set_backend(crate::backend::Backend::ALL[round % 3]);
+            r.set_backend(crate::backend::Backend::ALL[round % crate::backend::Backend::ALL.len()]);
             if round == 12 {
                 r.network_mut().remove_edge(3, 4);
                 r.network_mut().insert_edge(0, 4);
@@ -544,6 +569,57 @@ mod tests {
             r.step_round_digest(&mut d);
         }
         assert_eq!(d.value(), run(Backend::Reference, sched).0);
+    }
+
+    /// Rotating the *shard count* at every round boundary mid-run changes
+    /// nothing: the schedule is derived and keyed before any shard runs,
+    /// and the round-barrier merge re-applies effects in canonical order,
+    /// so the digest and final state are shard-count-invariant even when
+    /// the count changes between rounds (mirroring the backend-rotation
+    /// probe above).
+    #[test]
+    fn rotating_shard_count_per_round_is_invariant() {
+        use crate::backend::Backend;
+        let sched = Scheduler::RandomAsync { seed: 33 };
+        let run_fixed = |backend: Backend| {
+            let mut d = crate::trace::Digest::new();
+            let mut r = Runner::new(min_net(9), sched);
+            r.set_backend(backend);
+            for round in 0..40 {
+                if round == 12 {
+                    r.network_mut().remove_edge(3, 4);
+                    r.network_mut().insert_edge(0, 4);
+                }
+                if round == 20 {
+                    r.network_mut().crash_node(7);
+                }
+                r.step_round_digest(&mut d);
+            }
+            let vals: Vec<u32> = r.network().nodes().iter().map(|a| a.value).collect();
+            (d.value(), vals, r.network().metrics.total_sent)
+        };
+        let reference = run_fixed(Backend::Reference);
+        let mut d = crate::trace::Digest::new();
+        let mut r = Runner::new(min_net(9), sched);
+        for round in 0..40usize {
+            r.set_backend(Backend::Sharded {
+                shards: [1, 2, 3, 8][round % 4],
+            });
+            if round == 12 {
+                r.network_mut().remove_edge(3, 4);
+                r.network_mut().insert_edge(0, 4);
+            }
+            if round == 20 {
+                r.network_mut().crash_node(7);
+            }
+            r.step_round_digest(&mut d);
+        }
+        let vals: Vec<u32> = r.network().nodes().iter().map(|a| a.value).collect();
+        assert_eq!(
+            reference,
+            (d.value(), vals, r.network().metrics.total_sent),
+            "rotating shard counts diverged from the reference"
+        );
     }
 
     /// A tick whose `enabled()` guard is falsified *mid-round* (by a

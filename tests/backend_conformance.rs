@@ -40,8 +40,15 @@ fn golden_names() -> &'static [&'static str] {
     ]
 }
 
-fn non_reference() -> [Backend; 2] {
-    [Backend::Batched, Backend::Soa]
+fn non_reference() -> [Backend; 3] {
+    // The ladder's sharded entry uses 3 shards — a count that does not
+    // divide typical node counts, so ragged boundaries are always hit.
+    // Per-shard-count invariance gets its own rung below.
+    [
+        Backend::Batched,
+        Backend::Soa,
+        Backend::Sharded { shards: 3 },
+    ]
 }
 
 /// Rung 1: every backend reproduces every committed golden trace
@@ -89,6 +96,35 @@ fn full_corpus_outcomes_are_identical_on_every_backend() {
                 out, reference,
                 "{}: outcome diverged on {backend}",
                 scenario.name
+            );
+        }
+    }
+}
+
+/// Shard-count invariance rung: the sharded backend's digest must not
+/// depend on the shard count — 1 (inline pipeline), 2, 3 (ragged) and 8
+/// (more shards than some scenarios have obligations) all reproduce every
+/// committed golden trace byte-for-byte. Together with rung 1 this pins
+/// `sharded:K` ≡ `reference` for the whole sweep of K.
+#[test]
+fn golden_traces_are_shard_count_invariant() {
+    let dir = golden_dir();
+    for name in golden_names() {
+        let trace_path = dir.join(format!("{name}.trace"));
+        let golden_text = std::fs::read_to_string(&trace_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", trace_path.display()));
+        let golden = RunTrace::parse(&golden_text).expect("committed .trace parses");
+        for shards in [1usize, 2, 3, 8] {
+            let mut scenario = corpus::by_name(name).expect("golden name is in the corpus");
+            scenario.backend = Backend::Sharded { shards };
+            let (_, replayed) = engine::run_traced(&scenario);
+            if let Some(divergence) = golden.first_divergence(&replayed) {
+                panic!("golden trace {name} DIVERGED on sharded:{shards}: {divergence}");
+            }
+            assert_eq!(
+                replayed.render(),
+                golden_text,
+                "{name} on sharded:{shards}: rendered trace must equal the committed bytes"
             );
         }
     }
