@@ -17,7 +17,7 @@ use crate::instance::Instrument;
 use crate::table::Table;
 use ssmdst_baselines as baselines;
 use ssmdst_graph::generators::GraphFamily;
-use ssmdst_graph::{degree_lower_bound, exact_mdst, Graph, SolveBudget};
+use ssmdst_graph::{Graph, SolveBudget};
 use ssmdst_scenario::engine::{self, EngineOpts};
 use ssmdst_scenario::{
     ConfigSpec, CorruptSpec, EventAction, Scenario, ScenarioEvent, SchedSpec, TopologySpec,
@@ -101,17 +101,17 @@ fn no_exact() -> EngineOpts {
     }
 }
 
-/// Ground truth for Δ*: exact when the solver budget allows, else `≥ lb`.
+/// Ground truth for Δ*: the exact engine's certified interval — exact when
+/// the interval settles, else the witness-certified floor as `≥ lb`.
 fn delta_star_str(g: &Graph) -> (String, Option<u32>) {
-    let res = exact_mdst(
-        g,
-        SolveBudget {
-            max_nodes: 2_000_000,
-        },
-    );
-    match res.delta_star() {
+    let sol = ssmdst_exact::Solver::builder()
+        .settle_budget(2_000_000)
+        .settle_max_n(256)
+        .build()
+        .solve(g);
+    match sol.delta_star() {
         Some(d) => (d.to_string(), Some(d)),
-        None => (format!("≥{}", degree_lower_bound(g)), None),
+        None => (format!("≥{}", sol.lower), None),
     }
 }
 

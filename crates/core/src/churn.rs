@@ -10,16 +10,31 @@
 //! the tree's degree is within one of the component's optimum `Δ*`
 //! (Theorem 2's guarantee, re-established after every perturbation).
 //!
-//! Optima are computed with the exact solver ([`exact_mdst`]) under a
-//! budget; when the budget is exhausted the Fürer–Raghavachari-style
-//! witness lower bound stands in and the verdict is conservative
-//! (`deg ≤ lower + 1` is *sufficient* for `deg ≤ Δ* + 1`, never
-//! necessary).
+//! Optima come from the certified-interval engine
+//! ([`ssmdst_exact::IncrementalSolver`]): each component gets a tree
+//! achieving `upper` and a [`ssmdst_exact::Witness`] certifying `lower`,
+//! and the judge **re-verifies the witness itself** on a subgraph built
+//! from the network (never from the solver's own mirror), so a solver bug
+//! can only make verdicts conservative, never unsound. The judge is
+//! stateful: a [`DeltaJudge`] keeps the engine's basis alive across churn
+//! events (fed via [`DeltaJudge::observe_churn`], re-synced defensively on
+//! every [`DeltaJudge::check`]), so a long churn chain re-solves only the
+//! components each event touched. The branch-and-bound solver
+//! ([`ssmdst_graph::exact_mdst`]) remains the engine's settling oracle and
+//! the test suite's small-`n` differential reference.
 
 use crate::node::MdstNode;
 use crate::NodeId;
-use ssmdst_graph::{exact_mdst, Graph, GraphBuilder, SolveBudget, SpanningTree};
-use ssmdst_sim::Network;
+use ssmdst_exact::{IncrementalSolver, Solver, Stats};
+use ssmdst_graph::{Graph, GraphBuilder, SolveBudget, SpanningTree};
+use ssmdst_sim::{ChurnEvent, Network};
+
+/// Largest component the judge's solver settles exactly with the
+/// branch-and-bound oracle; above it the verdict is witness-certified
+/// (`deg ≤ lower + 1` — sufficient for `deg ≤ Δ* + 1`, never necessary).
+/// Covers every storm-mutated scenario size, so quality predicates at
+/// small `n` never fail on an open interval.
+pub const SETTLE_MAX_N: usize = 256;
 
 /// Verdict for one connected component of the live topology.
 #[derive(Debug, Clone)]
@@ -28,10 +43,12 @@ pub struct ComponentReport {
     pub nodes: Vec<NodeId>,
     /// Max degree of the re-converged spanning tree of this component.
     pub degree: u32,
-    /// Exact `Δ*` of the component, when the solver budget sufficed.
+    /// Exact `Δ*` of the component, when the solver closed the interval.
     pub delta_star: Option<u32>,
-    /// Witness lower bound on `Δ*` (always available).
+    /// Certified lower bound on `Δ*` (always available).
     pub lower: u32,
+    /// Best tree degree the solver achieved (upper bound on `Δ*`).
+    pub upper: u32,
     /// Whether the tree degree is certified within one of the optimum:
     /// `degree ≤ Δ* + 1` when exact, else the conservative
     /// `degree ≤ lower + 1`.
@@ -66,6 +83,16 @@ impl std::fmt::Display for ChurnError {
     }
 }
 
+/// The solver configuration a judging budget maps to: the budget bounds
+/// the settling oracle's branch-and-bound nodes (`0` disables settling —
+/// witness-only judging), capped at [`SETTLE_MAX_N`] vertices.
+fn solver_for(budget: SolveBudget) -> Solver {
+    Solver::builder()
+        .settle_budget(budget.max_nodes)
+        .settle_max_n(SETTLE_MAX_N)
+        .build()
+}
+
 /// Relabel one component to dense ids and build its induced subgraph.
 fn induced_subgraph(net: &Network<MdstNode>, comp: &[NodeId]) -> Graph {
     let mut b = GraphBuilder::new(comp.len());
@@ -80,63 +107,211 @@ fn induced_subgraph(net: &Network<MdstNode>, comp: &[NodeId]) -> Graph {
     b.build()
 }
 
+/// The stateful component-wise judge: an incremental certified-`Δ*`
+/// engine mirroring the live topology, plus the structural tree checks.
+///
+/// Create one per run ([`DeltaJudge::new`]), feed it every churn event
+/// ([`DeltaJudge::observe_churn`]) and judge at each stable phase
+/// ([`DeltaJudge::check`]). Only the components an event touched are
+/// re-solved; untouched ones are served from the engine's cache. The
+/// one-shot [`check_reconvergence`] wraps a fresh judge for callers
+/// without a churn chain.
+#[derive(Debug, Clone)]
+pub struct DeltaJudge {
+    inc: IncrementalSolver,
+}
+
+impl DeltaJudge {
+    /// A judge mirroring `net`'s current live topology, solving under
+    /// `budget`: the budget bounds the settling oracle's branch-and-bound
+    /// nodes, capped at [`SETTLE_MAX_N`] vertices.
+    pub fn new(net: &Network<MdstNode>, budget: SolveBudget) -> Self {
+        let mut judge = DeltaJudge {
+            inc: IncrementalSolver::new(net.n(), solver_for(budget)),
+        };
+        judge.sync(net);
+        judge
+    }
+
+    /// Mirror one applied churn event — `net` must already reflect it (the
+    /// post-event topology is the ground truth for insert-type events,
+    /// whose network semantics include refusals and deferred rejoin
+    /// edges). `O(deg)` per event; keeps the next [`DeltaJudge::check`]
+    /// incremental.
+    pub fn observe_churn(&mut self, net: &Network<MdstNode>, ev: &ChurnEvent) {
+        match ev {
+            ChurnEvent::RemoveEdge(u, v) => {
+                self.inc.remove_edge(*u, *v);
+            }
+            ChurnEvent::InsertEdge(u, v) => {
+                self.inc.set_edge(*u, *v, has_edge(net, *u, *v));
+            }
+            ChurnEvent::CrashNode(v) => {
+                self.inc.crash(*v);
+            }
+            ChurnEvent::RejoinNode(v) => {
+                let nbrs: Vec<NodeId> = net.neighbors(*v).to_vec();
+                self.inc.rejoin(*v, &nbrs);
+            }
+            ChurnEvent::Partition(cut) => {
+                for &(u, v) in cut {
+                    self.inc.remove_edge(u, v);
+                }
+            }
+            ChurnEvent::Heal(cut) => {
+                for &(u, v) in cut {
+                    self.inc.set_edge(u, v, has_edge(net, u, v));
+                }
+            }
+        }
+    }
+
+    /// Engine work counters — how much of the judging so far was served
+    /// incrementally (cache hits / warm starts / cold starts / pivots).
+    pub fn stats(&self) -> Stats {
+        self.inc.stats()
+    }
+
+    /// Re-sync the mirror to the network by diffing aliveness and sorted
+    /// adjacency. A no-op scan when [`DeltaJudge::observe_churn`] saw
+    /// every event; the safety net that keeps verdicts sound when a
+    /// driver mutated topology behind the judge's back.
+    fn sync(&mut self, net: &Network<MdstNode>) {
+        let n = net.n().min(self.inc.n());
+        for v in 0..n as NodeId {
+            let live = net.is_alive(v);
+            if live != self.inc.is_alive(v) {
+                if live {
+                    self.inc.rejoin(v, &[]);
+                } else {
+                    self.inc.crash(v);
+                }
+            }
+            if !live {
+                continue;
+            }
+            // Two-pointer diff of the upper-half adjacencies (both sorted
+            // ascending); only genuine differences touch the mirror.
+            let want = net.neighbors(v).iter().copied().filter(|&w| w > v);
+            let have: Vec<NodeId> = self.inc.neighbors(v).filter(|&w| w > v).collect();
+            let mut have = have.into_iter().peekable();
+            for w in want {
+                loop {
+                    match have.peek() {
+                        Some(&h) if h < w => {
+                            self.inc.remove_edge(v, h);
+                            have.next();
+                        }
+                        Some(&h) if h == w => {
+                            have.next();
+                            break;
+                        }
+                        _ => {
+                            self.inc.insert_edge(v, w);
+                            break;
+                        }
+                    }
+                }
+            }
+            for h in have {
+                self.inc.remove_edge(v, h);
+            }
+        }
+    }
+
+    /// Judge the network: every live component must carry a spanning tree
+    /// (via the protocol's parent pointers) whose degree is certified
+    /// within one of the component's `Δ*`. Untouched components are
+    /// served from the engine's cache; dirty ones re-solve from their
+    /// repaired basis.
+    pub fn check(&mut self, net: &Network<MdstNode>) -> Result<Vec<ComponentReport>, ChurnError> {
+        self.sync(net);
+        let sols = self.inc.solve_all();
+        let comps = net.live_components();
+        debug_assert_eq!(
+            comps.len(),
+            sols.len(),
+            "mirror/network component structure diverged after sync"
+        );
+        let mut reports = Vec::with_capacity(comps.len());
+        for (comp, sol) in comps.into_iter().zip(sols) {
+            debug_assert_eq!(comp, sol.members, "component membership diverged");
+            let sub = induced_subgraph(net, &comp);
+            // Map parent pointers into the dense relabeling.
+            let mut parents = vec![0 as NodeId; comp.len()];
+            let mut roots = Vec::new();
+            for (i, &v) in comp.iter().enumerate() {
+                let p = net.node(v).state().parent;
+                if p == v {
+                    roots.push(i as NodeId);
+                    parents[i] = i as NodeId;
+                } else {
+                    let Ok(j) = comp.binary_search(&p) else {
+                        return Err(ChurnError::ParentOutsideComponent { node: v, parent: p });
+                    };
+                    parents[i] = j as NodeId;
+                }
+            }
+            let &[root] = roots.as_slice() else {
+                return Err(ChurnError::BadRootCount {
+                    component_min: comp[0],
+                    roots: roots.len(),
+                });
+            };
+            let Ok(tree) = SpanningTree::from_parents(&sub, root, parents) else {
+                return Err(ChurnError::NotATree {
+                    component_min: comp[0],
+                });
+            };
+            let degree = tree.max_degree();
+            // Independent certification: re-derive the witness bound on
+            // the network-built subgraph (one BFS). The solver's `lower`
+            // is only trusted when its certificate checks out here — a
+            // settled component's witness certifies `lower − 1`, the
+            // settling oracle closed the last gap.
+            let cert = sol.witness.certifies(&sub);
+            let trusted = cert >= sol.lower.saturating_sub(u32::from(sol.settled));
+            let (delta_star, lower) = if trusted {
+                (sol.delta_star(), sol.lower)
+            } else {
+                (None, cert)
+            };
+            let within_one = match delta_star {
+                Some(d) => degree <= d + 1,
+                None => degree <= lower + 1,
+            };
+            reports.push(ComponentReport {
+                nodes: comp,
+                degree,
+                delta_star,
+                lower,
+                upper: sol.upper,
+                within_one,
+            });
+        }
+        Ok(reports)
+    }
+}
+
+/// Whether `{u, v}` is currently an edge of the live topology.
+fn has_edge(net: &Network<MdstNode>, u: NodeId, v: NodeId) -> bool {
+    (u as usize) < net.n() && net.neighbors(u).binary_search(&v).is_ok()
+}
+
 /// Check that the network has re-converged to per-component spanning trees
 /// within one of each component's optimal degree. Intended to be called at
 /// quiescence, after each churn event of a [`ssmdst_sim::TopologyPlan`].
 ///
-/// `budget` bounds the exact `Δ*` computation per component; pass
-/// `SolveBudget { max_nodes: 0 }` to skip exact solving entirely (the
-/// witness lower bound is then used for a conservative verdict).
+/// One-shot form: builds a fresh [`DeltaJudge`] (cold solve of every
+/// component). Drivers judging repeatedly across a churn chain keep a
+/// judge alive instead. `budget` bounds the settling oracle per component;
+/// pass `SolveBudget { max_nodes: 0 }` to skip settling entirely (the
+/// witness lower bound then gives a conservative verdict).
 pub fn check_reconvergence(
     net: &Network<MdstNode>,
     budget: SolveBudget,
 ) -> Result<Vec<ComponentReport>, ChurnError> {
-    let mut reports = Vec::new();
-    for comp in net.live_components() {
-        let sub = induced_subgraph(net, &comp);
-        // Map parent pointers into the dense relabeling.
-        let mut parents = vec![0 as NodeId; comp.len()];
-        let mut roots = Vec::new();
-        for (i, &v) in comp.iter().enumerate() {
-            let p = net.node(v).state().parent;
-            if p == v {
-                roots.push(i as NodeId);
-                parents[i] = i as NodeId;
-            } else {
-                let Ok(j) = comp.binary_search(&p) else {
-                    return Err(ChurnError::ParentOutsideComponent { node: v, parent: p });
-                };
-                parents[i] = j as NodeId;
-            }
-        }
-        let &[root] = roots.as_slice() else {
-            return Err(ChurnError::BadRootCount {
-                component_min: comp[0],
-                roots: roots.len(),
-            });
-        };
-        let Ok(tree) = SpanningTree::from_parents(&sub, root, parents) else {
-            return Err(ChurnError::NotATree {
-                component_min: comp[0],
-            });
-        };
-        let degree = tree.max_degree();
-        let exact = exact_mdst(&sub, budget);
-        let delta_star = exact.delta_star();
-        let lower = exact.lower();
-        let within_one = match delta_star {
-            Some(d) => degree <= d + 1,
-            None => degree <= lower + 1,
-        };
-        reports.push(ComponentReport {
-            nodes: comp,
-            degree,
-            delta_star,
-            lower,
-            within_one,
-        });
-    }
-    Ok(reports)
+    DeltaJudge::new(net, budget).check(net)
 }
 
 /// Convenience: `true` iff every component is a tree within one of its
@@ -154,7 +329,8 @@ mod tests {
     use crate::config::Config;
     use crate::oracle;
     use ssmdst_graph::generators::structured;
-    use ssmdst_sim::faults::{apply_churn, ChurnEvent};
+    use ssmdst_graph::{exact_mdst, ExactMdst};
+    use ssmdst_sim::faults::apply_churn;
     use ssmdst_sim::{Runner, Scheduler};
 
     fn budget() -> SolveBudget {
@@ -177,6 +353,7 @@ mod tests {
         assert!(reports[0].within_one);
         assert_eq!(reports[0].nodes.len(), 8);
         assert_eq!(reports[0].delta_star, Some(2)); // ring ⇒ path tree
+        assert_eq!(reports[0].upper, 2);
     }
 
     #[test]
@@ -221,5 +398,84 @@ mod tests {
         assert_eq!(reports[0].nodes.len(), 5, "crashed node not judged");
         assert!(!reports[0].nodes.contains(&3));
         assert!(reports[0].within_one);
+    }
+
+    /// The engine's per-component `Δ*` agrees with the branch-and-bound
+    /// oracle on the judge's own induced subgraphs — the small-`n`
+    /// differential that pins the rewired judge to the legacy one.
+    #[test]
+    fn judge_delta_star_matches_branch_and_bound() {
+        let g = structured::star_with_ring(10).unwrap();
+        let net = crate::build_network(&g, Config::for_n(10));
+        let mut runner = Runner::new(net, Scheduler::Synchronous);
+        converge(&mut runner, 20_000);
+        apply_churn(runner.network_mut(), &ChurnEvent::RemoveEdge(0, 1));
+        converge(&mut runner, 20_000);
+        let reports = check_reconvergence(runner.network(), budget()).unwrap();
+        for r in &reports {
+            let sub = induced_subgraph(runner.network(), &r.nodes);
+            match exact_mdst(&sub, budget()) {
+                ExactMdst::Exact { delta_star, .. } => {
+                    assert_eq!(r.delta_star, Some(delta_star), "comp {:?}", r.nodes);
+                }
+                ExactMdst::Bounded { .. } => panic!("budget must settle n ≤ 10"),
+            }
+        }
+    }
+
+    /// A judge fed events stays bit-identical in outcome to a fresh judge
+    /// built from scratch at every step of a churn chain.
+    #[test]
+    fn incremental_judge_tracks_one_shot_judge_across_churn() {
+        let g = structured::star_with_ring(9).unwrap();
+        let net = crate::build_network(&g, Config::for_n(9));
+        let mut runner = Runner::new(net, Scheduler::Synchronous);
+        converge(&mut runner, 20_000);
+        let mut judge = DeltaJudge::new(runner.network(), budget());
+        let chain = [
+            ChurnEvent::RemoveEdge(1, 2),
+            ChurnEvent::CrashNode(4),
+            ChurnEvent::InsertEdge(1, 2),
+            ChurnEvent::RejoinNode(4),
+        ];
+        for ev in &chain {
+            apply_churn(runner.network_mut(), ev);
+            judge.observe_churn(runner.network(), ev);
+            converge(&mut runner, 20_000);
+            let inc = judge.check(runner.network()).unwrap();
+            let scratch = check_reconvergence(runner.network(), budget()).unwrap();
+            assert_eq!(inc.len(), scratch.len(), "after {ev}");
+            for (a, b) in inc.iter().zip(&scratch) {
+                assert_eq!(a.nodes, b.nodes, "after {ev}");
+                assert_eq!(a.degree, b.degree, "after {ev}");
+                assert_eq!(a.delta_star, b.delta_star, "after {ev}");
+                assert_eq!(a.within_one, b.within_one, "after {ev}");
+            }
+        }
+        let stats = judge.stats();
+        assert!(
+            stats.warm_starts + stats.cache_hits > 0,
+            "chain stayed incremental: {stats:?}"
+        );
+    }
+
+    /// A judge that missed events (driver churned behind its back) still
+    /// judges the actual network — the defensive re-sync.
+    #[test]
+    fn unobserved_churn_is_resynced_before_judging() {
+        let g = structured::cycle(8).unwrap();
+        let net = crate::build_network(&g, Config::for_n(8));
+        let mut runner = Runner::new(net, Scheduler::Synchronous);
+        converge(&mut runner, 20_000);
+        let mut judge = DeltaJudge::new(runner.network(), budget());
+        // Partition without telling the judge.
+        apply_churn(
+            runner.network_mut(),
+            &ChurnEvent::Partition(vec![(0, 7), (3, 4)]),
+        );
+        converge(&mut runner, 20_000);
+        let reports = judge.check(runner.network()).unwrap();
+        assert_eq!(reports.len(), 2, "sync picked up the partition");
+        assert!(reports.iter().all(|r| r.within_one));
     }
 }

@@ -1,0 +1,55 @@
+//! # ssmdst-exact
+//!
+//! The fast certified-`Δ*` engine: a network-simplex-style spanning-tree
+//! structure, a Fürer–Raghavachari improvement loop with pluggable pivot
+//! rules, independently checkable lower-bound witnesses, and an
+//! incremental re-solve API that keeps the basis alive across churn.
+//!
+//! `Δ*` (the minimum over spanning trees of the maximum degree) is
+//! NP-hard, so the engine's contract is a **certified interval**: every
+//! solve returns a tree achieving `upper` and a [`Witness`] certifying
+//! `Δ* ≥ lower`, with `upper ≤ lower + 1` guaranteed at improvement
+//! fixpoints and `lower = upper` (exactness) whenever the small-`n`
+//! settling oracle closes the gap. Judges verify the witness themselves
+//! — one BFS — so a solver bug can only make verdicts conservative,
+//! never unsound.
+//!
+//! Layers:
+//!
+//! * [`structure`] — [`SpanningTreeStructure`]: flat parent/depth/
+//!   child-threading arrays with `O(cycle)` basis walks and `O(subtree)`
+//!   pivots, the mutable tree the improvement loop lives on.
+//! * [`witness`] — [`Witness`]: blocking-set certificates with
+//!   search-independent verification.
+//! * [`strategy`] — [`Pivot`]: first-eligible / best-eligible /
+//!   candidate-list pivot rules, seed-deterministic.
+//! * [`solve`] — [`Solver`] / [`Solution`]: the certified solve, cold
+//!   ([`Solver::solve`]) or warm ([`Solver::solve_from`]).
+//! * [`incremental`] — [`IncrementalSolver`]: mirror churn events,
+//!   repair the basis, re-solve only dirty components with warm starts
+//!   and a per-component cache.
+//!
+//! ```
+//! use ssmdst_exact::{Pivot, Solver};
+//! let g = ssmdst_graph::generators::structured::star_with_ring(8).unwrap();
+//! let sol = Solver::builder().pivot(Pivot::BestEligible).build().solve(&g);
+//! assert_eq!(sol.delta_star(), Some(2));
+//! assert!(sol.witness.verify(&g));
+//! ```
+
+// Library code must not grow bare `.unwrap()`s: use `.expect` with the
+// invariant that makes failure unreachable (ssmdst-lint R4 audits the
+// reasons). Unit tests keep their unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod incremental;
+pub mod solve;
+pub mod strategy;
+pub mod structure;
+pub mod witness;
+
+pub use incremental::{CompSolution, IncrementalSolver, Stats};
+pub use solve::{Solution, Solver, SolverBuilder};
+pub use strategy::{Improvement, Pivot};
+pub use structure::{SpanningTreeStructure, NONE};
+pub use witness::Witness;

@@ -1,0 +1,152 @@
+//! Pluggable pivot selection — which eligible improvement a search phase
+//! applies, in the network-simplex tradition of swappable pivot rules.
+//!
+//! Every strategy is a pure function of the deterministic candidate
+//! stream (eligible improvements are always enumerated in ascending edge
+//! id) plus the builder's seed, so solver runs are replayable: the same
+//! `(graph, start tree, strategy, seed)` always performs the same pivots.
+
+use ssmdst_graph::NodeId;
+
+/// One eligible improvement found by a search phase: insert a non-tree
+/// edge, remove a tree edge incident to a maximum-degree vertex on its
+/// basis cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Improvement {
+    /// Index of the inserted edge in the graph's canonical edge list
+    /// (ascending — the deterministic tie-breaker).
+    pub edge: u32,
+    /// The inserted non-tree edge `{u, v}`.
+    pub insert: (NodeId, NodeId),
+    /// The degree-`k` vertex this improvement relieves.
+    pub target: NodeId,
+    /// The removed tree edge (incident to `target`, on the basis cycle).
+    pub remove: (NodeId, NodeId),
+    /// Heuristic gain: `k − max(deg(u), deg(v))` — how much headroom the
+    /// inserted edge's endpoints have. Larger is better.
+    pub gain: u32,
+}
+
+/// Pivot rule selection, chosen through the solver builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pivot {
+    /// Apply the first eligible improvement (lowest edge id). Cheapest
+    /// per phase: enumeration stops at the first hit.
+    #[default]
+    FirstEligible,
+    /// Enumerate the whole phase and apply the improvement with maximal
+    /// [`Improvement::gain`] (ties: lowest edge id).
+    BestEligible,
+    /// Network-simplex block search: scan a window of `block` candidates
+    /// starting at a rotating cursor (seeded by the builder), apply the
+    /// best inside the window. Balances phase cost against pivot quality.
+    CandidateList {
+        /// Window size (clamped to ≥ 1).
+        block: u32,
+    },
+}
+
+/// Instantiated pivot rule state (the cursor of a candidate list lives
+/// across phases).
+#[derive(Debug, Clone)]
+pub(crate) struct PivotState {
+    rule: Pivot,
+    cursor: u32,
+}
+
+impl PivotState {
+    pub(crate) fn new(rule: Pivot, seed: u64, m: usize) -> Self {
+        let cursor = if m == 0 { 0 } else { (seed % m as u64) as u32 };
+        PivotState { rule, cursor }
+    }
+
+    /// Whether enumeration may stop at the first eligible improvement.
+    pub(crate) fn first_only(&self) -> bool {
+        matches!(self.rule, Pivot::FirstEligible)
+    }
+
+    /// Choose one improvement from a non-empty candidate list (ascending
+    /// edge id). Deterministic.
+    pub(crate) fn pick(&mut self, eligible: &[Improvement]) -> Improvement {
+        debug_assert!(!eligible.is_empty());
+        match self.rule {
+            Pivot::FirstEligible => eligible[0],
+            Pivot::BestEligible => best_of(eligible),
+            Pivot::CandidateList { block } => {
+                let block = block.max(1) as usize;
+                // The window is the first `block` candidates at or after
+                // the cursor, wrapping past the end of the edge order.
+                let start = eligible
+                    .iter()
+                    .position(|imp| imp.edge >= self.cursor)
+                    .unwrap_or(0);
+                let window: Vec<Improvement> = eligible
+                    .iter()
+                    .cycle()
+                    .skip(start)
+                    .take(block.min(eligible.len()))
+                    .copied()
+                    .collect();
+                let chosen = best_of(&window);
+                self.cursor = chosen.edge + 1;
+                chosen
+            }
+        }
+    }
+}
+
+/// Max gain, ties broken toward the lowest edge id.
+fn best_of(cands: &[Improvement]) -> Improvement {
+    let mut best = cands[0];
+    for &c in &cands[1..] {
+        if c.gain > best.gain || (c.gain == best.gain && c.edge < best.edge) {
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imp(edge: u32, gain: u32) -> Improvement {
+        Improvement {
+            edge,
+            insert: (0, 1),
+            target: 2,
+            remove: (2, 3),
+            gain,
+        }
+    }
+
+    #[test]
+    fn first_eligible_takes_the_lowest_edge() {
+        let mut s = PivotState::new(Pivot::FirstEligible, 0, 10);
+        assert!(s.first_only());
+        assert_eq!(s.pick(&[imp(3, 1), imp(5, 9)]).edge, 3);
+    }
+
+    #[test]
+    fn best_eligible_maximizes_gain_with_stable_ties() {
+        let mut s = PivotState::new(Pivot::BestEligible, 0, 10);
+        assert_eq!(s.pick(&[imp(3, 1), imp(5, 9), imp(7, 9)]).edge, 5);
+    }
+
+    #[test]
+    fn candidate_list_rotates_its_cursor() {
+        let mut s = PivotState::new(Pivot::CandidateList { block: 2 }, 0, 10);
+        let cands = [imp(1, 1), imp(4, 5), imp(8, 3)];
+        // Window from edge 0: {1, 4} → picks 4; cursor advances past it.
+        assert_eq!(s.pick(&cands).edge, 4);
+        // Window from edge 5: {8, wraps to 1} → gain 3 beats gain 1.
+        assert_eq!(s.pick(&cands).edge, 8);
+    }
+
+    #[test]
+    fn candidate_list_seed_sets_the_start() {
+        let mut s = PivotState::new(Pivot::CandidateList { block: 1 }, 8, 10);
+        let cands = [imp(1, 1), imp(4, 5), imp(8, 3)];
+        assert_eq!(s.pick(&cands).edge, 8, "seeded cursor starts at edge 8");
+    }
+}

@@ -1,0 +1,406 @@
+//! The mutable spanning-tree structure behind the solver: flat parent /
+//! depth / child-thread arrays in the network-simplex style.
+//!
+//! [`ssmdst_graph::SpanningTree`] is the *validated, immutable-ish* view
+//! the oracle and baselines use; its `swap` rebuilds children lists and is
+//! `O(n)` per pivot. This structure is the solver-grade analogue: every
+//! array is flat `u32`, the basis cycle of a non-tree edge is walked in
+//! `O(1)` per step via depth-matched parent climbs, and a pivot (insert a
+//! non-tree edge, remove a tree edge on its cycle) costs
+//! `O(path + re-hung subtree)` — the intrusive first-child/next-sibling
+//! threading gives each subtree as a pointer walk, so only the re-hung
+//! vertices are relabeled.
+
+use ssmdst_graph::{Graph, NodeId};
+
+/// Sentinel for "no node" in the threading arrays.
+pub const NONE: u32 = u32::MAX;
+
+/// A rooted spanning tree over a CSR [`Graph`]'s vertex set, stored as
+/// flat arrays with intrusive depth-first threading.
+#[derive(Debug, Clone)]
+pub struct SpanningTreeStructure {
+    root: u32,
+    /// `parent[root] == root`; every entry is a tree edge endpoint.
+    parent: Vec<u32>,
+    /// Depth from the root (root = 0); kept exact across pivots.
+    depth: Vec<u32>,
+    /// Tree degree of each vertex; kept exact across pivots.
+    deg: Vec<u32>,
+    /// Head of each vertex's child list (`NONE` for leaves).
+    first_child: Vec<u32>,
+    /// Next sibling in the parent's child list (`NONE` at the tail).
+    next_sib: Vec<u32>,
+    /// Previous sibling (`NONE` at the head) — O(1) unlink on pivot.
+    prev_sib: Vec<u32>,
+    /// Scratch stack for subtree relabeling (kept to avoid re-allocation).
+    stack: Vec<u32>,
+    /// Scratch buffer the cycle walk writes into (see [`Self::tree_path`]).
+    path: Vec<u32>,
+}
+
+impl SpanningTreeStructure {
+    /// Build from a parent vector whose edges form a spanning tree rooted
+    /// at `root` (`parent[root] == root`). The caller guarantees
+    /// well-formedness (the solver builds these from BFS or from the
+    /// incremental forest, both already validated); debug builds verify.
+    pub fn from_parents(root: NodeId, parent: &[NodeId]) -> Self {
+        let n = parent.len();
+        let mut st = SpanningTreeStructure {
+            root,
+            parent: parent.to_vec(),
+            depth: vec![0; n],
+            deg: vec![0; n],
+            first_child: vec![NONE; n],
+            next_sib: vec![NONE; n],
+            prev_sib: vec![NONE; n],
+            stack: Vec::new(),
+            path: Vec::new(),
+        };
+        debug_assert_eq!(parent[root as usize], root, "root must self-parent");
+        for v in 0..n as u32 {
+            if v != root {
+                let p = st.parent[v as usize];
+                debug_assert_ne!(p, v, "non-root self-parent");
+                st.deg[v as usize] += 1;
+                st.deg[p as usize] += 1;
+                st.link_child(p, v);
+            }
+        }
+        st.relabel_depths(root, 0);
+        st
+    }
+
+    /// Build the BFS tree of a connected graph, rooted at 0.
+    pub fn from_bfs(g: &Graph) -> Self {
+        let parents = ssmdst_graph::traversal::bfs_tree(g, 0);
+        debug_assert!(
+            !parents.contains(&u32::MAX),
+            "from_bfs requires a connected graph"
+        );
+        Self::from_parents(0, &parents)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root vertex.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `v` (the root parents itself).
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v as usize]
+    }
+
+    /// Borrow the raw parent vector.
+    #[inline]
+    pub fn parents(&self) -> &[NodeId] {
+        &self.parent
+    }
+
+    /// Depth of `v` below the root.
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v as usize]
+    }
+
+    /// Tree degree of `v` — maintained incrementally, O(1).
+    #[inline]
+    pub fn deg(&self, v: NodeId) -> u32 {
+        self.deg[v as usize]
+    }
+
+    /// Borrow all tree degrees.
+    #[inline]
+    pub fn degs(&self) -> &[u32] {
+        &self.deg
+    }
+
+    /// `deg(T) = max_v deg_T(v)`.
+    pub fn max_degree(&self) -> u32 {
+        self.deg.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether `{u, v}` is a tree edge — O(1) parent-pointer check.
+    #[inline]
+    pub fn is_tree_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && (self.parent[u as usize] == v || self.parent[v as usize] == u)
+    }
+
+    /// The basis cycle of non-tree edge `{u, v}`, minus the edge itself:
+    /// the tree path `u ..= v` through the LCA, walked with depth-matched
+    /// parent climbs (O(1) per step, O(cycle) total). The returned slice
+    /// lives in an internal scratch buffer and is invalidated by the next
+    /// structural call.
+    pub fn tree_path(&mut self, u: NodeId, v: NodeId) -> &[u32] {
+        self.path.clear();
+        let (mut a, mut b) = (u, v);
+        self.path.push(a);
+        // `down` collects the b-side in reverse; reuse of `stack` scratch.
+        self.stack.clear();
+        self.stack.push(b);
+        while self.depth[a as usize] > self.depth[b as usize] {
+            a = self.parent[a as usize];
+            self.path.push(a);
+        }
+        while self.depth[b as usize] > self.depth[a as usize] {
+            b = self.parent[b as usize];
+            self.stack.push(b);
+        }
+        while a != b {
+            a = self.parent[a as usize];
+            self.path.push(a);
+            b = self.parent[b as usize];
+            self.stack.push(b);
+        }
+        // `path` ends at the LCA; append the b-side, skipping its LCA copy.
+        self.stack.pop();
+        while let Some(x) = self.stack.pop() {
+            self.path.push(x);
+        }
+        &self.path
+    }
+
+    /// Pivot: insert non-tree edge `{u, v}` and remove tree edge `{w, z}`,
+    /// which must lie on the basis cycle of `{u, v}`. The subtree cut off
+    /// by the removal is re-rooted at whichever of `u`/`v` it contains and
+    /// re-hung under the other endpoint; only that subtree is relabeled.
+    pub fn pivot(&mut self, (u, v): (NodeId, NodeId), (w, z): (NodeId, NodeId)) {
+        debug_assert!(self.is_tree_edge(w, z), "pivot: removed edge not in tree");
+        debug_assert!(!self.is_tree_edge(u, v), "pivot: inserted edge in tree");
+        // Child side of the removed edge roots the detached subtree B.
+        let b_root = if self.parent[w as usize] == z { w } else { z };
+        self.unlink_child(self.parent[b_root as usize], b_root);
+        self.parent[b_root as usize] = b_root;
+        // The inserted endpoint inside B (reaches b_root by parent walks).
+        let (inside, outside) = if self.reaches(u, b_root) {
+            (u, v)
+        } else {
+            debug_assert!(self.reaches(v, b_root), "pivot: edge not on cycle");
+            (v, u)
+        };
+        // Re-root B at `inside`: reverse the parent chain inside → b_root.
+        // Two passes — unlink every chain link while the sibling pointers
+        // still describe the old child lists, then relink in reverse
+        // (link_child rewrites the sibling data the unlink pass consumes).
+        let mut cur = inside;
+        while cur != b_root {
+            let p = self.parent[cur as usize];
+            self.unlink_child(p, cur);
+            cur = p;
+        }
+        let mut prev = inside;
+        let mut cur = self.parent[inside as usize];
+        while prev != b_root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = prev;
+            self.link_child(prev, cur);
+            prev = cur;
+            cur = next;
+        }
+        // Hang B under `outside` and fix bookkeeping.
+        self.parent[inside as usize] = outside;
+        self.link_child(outside, inside);
+        self.deg[w as usize] -= 1;
+        self.deg[z as usize] -= 1;
+        self.deg[u as usize] += 1;
+        self.deg[v as usize] += 1;
+        let base = self.depth[outside as usize] + 1;
+        self.relabel_depths(inside, base);
+    }
+
+    /// Depth-first walk of the subtree rooted at `top`, in threading
+    /// order, invoking `f` on every vertex (including `top`).
+    pub fn for_subtree(&mut self, top: NodeId, mut f: impl FnMut(NodeId)) {
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        stack.push(top);
+        while let Some(x) = stack.pop() {
+            f(x);
+            let mut c = self.first_child[x as usize];
+            while c != NONE {
+                stack.push(c);
+                c = self.next_sib[c as usize];
+            }
+        }
+        self.stack = stack;
+    }
+
+    /// Whether following parents from `x` reaches `stop`.
+    fn reaches(&self, mut x: NodeId, stop: NodeId) -> bool {
+        loop {
+            if x == stop {
+                return true;
+            }
+            let p = self.parent[x as usize];
+            if p == x {
+                return false;
+            }
+            x = p;
+        }
+    }
+
+    /// Push `c` onto `p`'s child list (O(1)).
+    fn link_child(&mut self, p: NodeId, c: NodeId) {
+        let head = self.first_child[p as usize];
+        self.next_sib[c as usize] = head;
+        self.prev_sib[c as usize] = NONE;
+        if head != NONE {
+            self.prev_sib[head as usize] = c;
+        }
+        self.first_child[p as usize] = c;
+    }
+
+    /// Remove `c` from `p`'s child list (O(1) via sibling links).
+    fn unlink_child(&mut self, p: NodeId, c: NodeId) {
+        let prev = self.prev_sib[c as usize];
+        let next = self.next_sib[c as usize];
+        if prev == NONE {
+            self.first_child[p as usize] = next;
+        } else {
+            self.next_sib[prev as usize] = next;
+        }
+        if next != NONE {
+            self.prev_sib[next as usize] = prev;
+        }
+        self.next_sib[c as usize] = NONE;
+        self.prev_sib[c as usize] = NONE;
+    }
+
+    /// Set `depth[top] = base` and relabel its subtree via the threading.
+    fn relabel_depths(&mut self, top: NodeId, base: u32) {
+        let mut stack = std::mem::take(&mut self.stack);
+        stack.clear();
+        self.depth[top as usize] = base;
+        stack.push(top);
+        while let Some(x) = stack.pop() {
+            let d = self.depth[x as usize] + 1;
+            let mut c = self.first_child[x as usize];
+            while c != NONE {
+                self.depth[c as usize] = d;
+                stack.push(c);
+                c = self.next_sib[c as usize];
+            }
+        }
+        self.stack = stack;
+    }
+
+    /// Full consistency audit against a host graph — test support; O(n²)
+    /// worst case, never called on the solve path.
+    #[cfg(test)]
+    pub fn validate(&self, g: &Graph) {
+        let n = self.n();
+        assert_eq!(n, g.n());
+        assert_eq!(self.parent[self.root as usize], self.root);
+        assert_eq!(self.depth[self.root as usize], 0);
+        let mut deg = vec![0u32; n];
+        for v in 0..n as u32 {
+            if v == self.root {
+                continue;
+            }
+            let p = self.parent[v as usize];
+            assert!(g.has_edge(v, p), "parent edge {v}-{p} missing in graph");
+            assert_eq!(self.depth[v as usize], self.depth[p as usize] + 1);
+            deg[v as usize] += 1;
+            deg[p as usize] += 1;
+        }
+        assert_eq!(deg, self.deg, "degree cache out of sync");
+        // Child threading mirrors the parent vector exactly.
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.root];
+        let mut count = 0;
+        while let Some(x) = stack.pop() {
+            assert!(!seen[x as usize], "threading cycle at {x}");
+            seen[x as usize] = true;
+            count += 1;
+            let mut c = self.first_child[x as usize];
+            while c != NONE {
+                assert_eq!(self.parent[c as usize], x, "thread/parent mismatch");
+                stack.push(c);
+                c = self.next_sib[c as usize];
+            }
+        }
+        assert_eq!(count, n, "threading does not span");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmdst_graph::generators::{random, structured};
+    use ssmdst_graph::SpanningTree;
+
+    #[test]
+    fn bfs_build_matches_reference_tree() {
+        let g = structured::grid(4, 4).unwrap();
+        let st = SpanningTreeStructure::from_bfs(&g);
+        let reference = SpanningTree::from_bfs(&g, 0).unwrap();
+        assert_eq!(st.parents(), reference.parents());
+        for v in 0..g.n() as u32 {
+            assert_eq!(st.depth(v), reference.depth(v), "depth of {v}");
+        }
+        st.validate(&g);
+    }
+
+    #[test]
+    fn tree_path_is_the_fundamental_cycle() {
+        let g = structured::cycle(9).unwrap();
+        let mut st = SpanningTreeStructure::from_bfs(&g);
+        let reference = SpanningTree::from_bfs(&g, 0).unwrap();
+        // The one non-tree edge of a cycle's BFS tree closes the full ring.
+        let (u, v) = g
+            .edges()
+            .iter()
+            .copied()
+            .find(|&(u, v)| !st.is_tree_edge(u, v))
+            .unwrap();
+        assert_eq!(st.tree_path(u, v), &reference.fundamental_cycle_path(u, v));
+    }
+
+    #[test]
+    fn pivot_matches_reference_swap() {
+        let g = random::gnp_connected(12, 0.4, 7);
+        let mut st = SpanningTreeStructure::from_bfs(&g);
+        let mut reference = SpanningTree::from_bfs(&g, 0).unwrap();
+        let mut pivots = 0;
+        for &(u, v) in g.edges() {
+            if st.is_tree_edge(u, v) {
+                continue;
+            }
+            // Remove the cycle edge entering the path's second vertex.
+            let path = st.tree_path(u, v).to_vec();
+            let (w, z) = (path[0], path[1]);
+            st.pivot((u, v), (w, z));
+            reference.swap((u, v), (w, z));
+            st.validate(&g);
+            assert_eq!(st.parents(), reference.parents(), "after pivot {u}-{v}");
+            for x in 0..g.n() as u32 {
+                assert_eq!(st.depth(x), reference.depth(x));
+                assert_eq!(st.deg(x), reference.degree_of(x));
+            }
+            pivots += 1;
+            if pivots >= 8 {
+                break;
+            }
+        }
+        assert!(pivots >= 4, "instance too sparse to exercise pivots");
+    }
+
+    #[test]
+    fn subtree_walk_visits_exactly_the_subtree() {
+        let g = structured::star_with_ring(8).unwrap();
+        let mut st = SpanningTreeStructure::from_bfs(&g);
+        let mut whole = Vec::new();
+        let root = st.root();
+        st.for_subtree(root, |v| whole.push(v));
+        whole.sort_unstable();
+        assert_eq!(whole, (0..g.n() as u32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,140 @@
+//! Checkable lower-bound certificates for `Δ*`.
+//!
+//! A [`Witness`] is a blocking vertex set `S` plus the bound it claims:
+//! removing `S` from the graph leaves `c` components, every spanning tree
+//! needs `c + |S| − 1` edges incident to `S`, so some vertex of `S` has
+//! tree degree at least `⌈(c + |S| − 1) / |S|⌉` (the Fürer–Raghavachari
+//! forest argument, the same structure as
+//! [`ssmdst_graph::lower_bound::vertex_removal_bound`]). The empty set
+//! carries the floor bounds that need no removal argument (`1` with an
+//! edge, `2` once `n ≥ 3`: a spanning tree on three or more vertices has
+//! an internal vertex).
+//!
+//! The point of the type is that verification is **independent of the
+//! search** that produced it: [`Witness::verify`] re-derives the bound
+//! with one BFS over the graph, so a judge never has to trust the
+//! solver's improvement loop — only a count of connected components.
+
+use ssmdst_graph::{lower_bound, Graph, NodeId};
+
+/// A certified lower bound on the optimal spanning-tree degree `Δ*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The blocking set `S`, strictly ascending (empty for floor bounds).
+    set: Vec<NodeId>,
+    /// The bound this witness claims: `Δ* ≥ claimed`.
+    claimed: u32,
+}
+
+impl Witness {
+    /// The floor witness for an `n`-vertex connected graph: claims `0`,
+    /// `1` or `2` with an empty set.
+    pub fn floor(n: usize) -> Witness {
+        Witness {
+            set: Vec::new(),
+            claimed: floor_bound(n),
+        }
+    }
+
+    /// A removal-set witness. The set is sorted and deduplicated; the
+    /// claim is whatever the caller derived (use [`Witness::verify`] to
+    /// check it against a graph).
+    pub fn removal_set(mut set: Vec<NodeId>, claimed: u32) -> Witness {
+        set.sort_unstable();
+        set.dedup();
+        Witness { set, claimed }
+    }
+
+    /// The blocking set `S` (empty for floor witnesses), ascending.
+    pub fn set(&self) -> &[NodeId] {
+        &self.set
+    }
+
+    /// The claimed lower bound on `Δ*`.
+    pub fn claimed(&self) -> u32 {
+        self.claimed
+    }
+
+    /// Recompute the bound this witness's set actually certifies on `g`
+    /// (independent of whatever search produced it): the removal formula
+    /// for a non-empty set, the connectivity floor for an empty one.
+    pub fn certifies(&self, g: &Graph) -> u32 {
+        if self.set.is_empty() {
+            floor_bound(g.n())
+        } else {
+            // The floor still holds; a removal set can only strengthen it.
+            lower_bound::vertex_removal_bound(g, &self.set).max(floor_bound(g.n()))
+        }
+    }
+
+    /// Independent re-verification: does the set certify at least the
+    /// claim on `g`? One BFS; no trust in the producing search.
+    pub fn verify(&self, g: &Graph) -> bool {
+        self.set.iter().all(|&v| (v as usize) < g.n()) && self.certifies(g) >= self.claimed
+    }
+
+    /// Translate a component-local witness back to original vertex ids.
+    pub fn relabeled(&self, map: &[NodeId]) -> Witness {
+        Witness {
+            set: self.set.iter().map(|&v| map[v as usize]).collect(),
+            claimed: self.claimed,
+        }
+    }
+}
+
+/// The trivial connectivity floor on `Δ*` for an `n`-vertex connected
+/// graph: any spanning tree on `n ≥ 3` vertices has an internal vertex.
+pub(crate) fn floor_bound(n: usize) -> u32 {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssmdst_graph::generators::{gadgets, structured};
+    use ssmdst_graph::graph::graph_from_edges;
+
+    #[test]
+    fn floor_witness_verifies_on_any_graph() {
+        for n in [1usize, 2, 3, 8] {
+            let g = structured::path(n.max(2)).unwrap();
+            assert!(Witness::floor(g.n()).verify(&g));
+        }
+    }
+
+    #[test]
+    fn star_center_certifies_its_degree() {
+        let g = graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let w = Witness::removal_set(vec![0], 5);
+        assert!(w.verify(&g));
+        assert_eq!(w.certifies(&g), 5);
+        // An inflated claim fails verification.
+        assert!(!Witness::removal_set(vec![0], 6).verify(&g));
+    }
+
+    #[test]
+    fn spider_hub_witness() {
+        let g = gadgets::spider(4, 3).unwrap();
+        assert!(Witness::removal_set(vec![0], 4).verify(&g));
+    }
+
+    #[test]
+    fn relabeling_maps_into_original_ids() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let local = Witness::removal_set(vec![0], 3);
+        let mapped = local.relabeled(&[7, 9, 11, 13]);
+        assert_eq!(mapped.set(), &[7]);
+        assert_eq!(mapped.claimed(), 3);
+        let _ = g;
+    }
+
+    #[test]
+    fn out_of_range_set_fails_closed() {
+        let g = structured::path(4).unwrap();
+        assert!(!Witness::removal_set(vec![99], 1).verify(&g));
+    }
+}

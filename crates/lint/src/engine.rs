@@ -38,7 +38,7 @@ use crate::rules::{Finding, Rule};
 use std::path::{Path, PathBuf};
 
 /// Crates whose iteration order feeds replay digests (R1's blast radius).
-pub const DIGEST_CRATES: [&str; 4] = ["sim", "scenario", "core", "graph"];
+pub const DIGEST_CRATES: [&str; 5] = ["sim", "scenario", "core", "graph", "exact"];
 
 /// What kind of build target a file belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

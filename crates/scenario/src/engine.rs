@@ -231,6 +231,11 @@ pub fn run_protocol<P: Protocol>(
         session.observer_mut().note_init_fault(victims.len());
     }
 
+    // One judge per run: its state (for MDST, the incremental engine's
+    // basis and component cache) survives across phases, fed every churn
+    // event so each stable-phase judgment re-solves only what changed.
+    let mut judge = proto.new_judge(session.network(), &opts);
+
     let mut phases: Vec<PhaseOutcome> = Vec::new();
     let mut label = "initial".to_string();
     for ev in &scn.events {
@@ -241,6 +246,7 @@ pub fn run_protocol<P: Protocol>(
         let phase = run_phase(
             proto,
             &mut session,
+            &mut judge,
             &mut obs,
             scn.stop.max_rounds,
             quiet,
@@ -259,12 +265,14 @@ pub fn run_protocol<P: Protocol>(
             EventAction::Churn(c) => {
                 let _ = session.churn(c);
                 session.observer_mut().note_churn(round, &label);
+                P::observe_churn(&mut judge, session.network(), c);
             }
         }
     }
     let phase = run_phase(
         proto,
         &mut session,
+        &mut judge,
         &mut obs,
         scn.stop.max_rounds,
         quiet,
@@ -314,6 +322,7 @@ pub fn run_protocol<P: Protocol>(
 fn run_phase<P: Protocol>(
     proto: &P,
     session: &mut Session<P::Node, Recorder<P>>,
+    judge: &mut P::Judge,
     obs: &mut impl FnMut(&Network<P::Node>, u64),
     max_rounds: u64,
     quiet: u64,
@@ -345,7 +354,7 @@ fn run_phase<P: Protocol>(
     // Judge stable-timed phases component-wise; mid-flight phases are in
     // transit by construction and are not judged.
     let (checked, judgment) = if until.is_none() {
-        (true, proto.judge(session.network(), opts))
+        (true, proto.judge(judge, session.network(), opts))
     } else {
         (
             false,

@@ -33,9 +33,13 @@ pub const MIN_HORIZON: u64 = 5_000;
 /// Largest horizon a mutation may stretch to.
 pub const MAX_HORIZON: u64 = 200_000;
 
-/// Node-count band mutants live in: large enough for interesting
-/// structure, small enough that the component-wise exact judge stays fast.
-const MUTANT_N: (usize, usize) = (4, 24);
+/// Node-count band mutants live in. The ceiling tracks
+/// `ssmdst_core::churn::SETTLE_MAX_N`: up to 256 nodes the incremental
+/// exact-Δ* engine still *settles* every judged component (certified
+/// exact optimum, not just an interval), so topology swaps no longer
+/// crush large seed scenarios down to the old branch-and-bound ceiling
+/// of 24 — a storm seeded at n = 256 keeps its scale.
+const MUTANT_N: (usize, usize) = (4, 256);
 
 /// Cap on a mutant's event-plan length, so generations of splices cannot
 /// grow unbounded plans.
@@ -419,6 +423,48 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{kind} child fails to parse: {e}"));
             assert_eq!(parsed, child, "{kind} round trip");
             cur = child;
+        }
+    }
+
+    /// The raised mutant band: topology swaps preserve large-scale seeds
+    /// up to n = 256 (the incremental judge's settling ceiling) instead
+    /// of crushing them to the old branch-and-bound limit of 24, while
+    /// still clamping unbounded hints into the band.
+    #[test]
+    fn topology_swaps_preserve_large_scale_seeds() {
+        assert_eq!(MUTANT_N, (4, 256), "band tracks churn::SETTLE_MAX_N");
+        let large = Scenario::converge(
+            "large-seed",
+            TopologySpec::Cycle { n: 256 },
+            SchedSpec::Synchronous,
+            MAX_HORIZON,
+        );
+        let mut grew_past_old_cap = false;
+        for seed in 0..200u64 {
+            let (kind, child) = mutate(&large, seed);
+            let n = child.topology.n_hint();
+            assert!(n <= MUTANT_N.1, "{kind}: mutant escaped the band (n={n})");
+            if kind == MutationKind::SwapTopology {
+                grew_past_old_cap |= n > 24;
+            }
+            assert_in_range(&child);
+        }
+        assert!(
+            grew_past_old_cap,
+            "no topology swap kept scale past the old n=24 cap"
+        );
+        // Hints beyond the band still clamp into it.
+        let huge = Scenario::converge(
+            "huge-seed",
+            TopologySpec::Cycle { n: 1000 },
+            SchedSpec::Synchronous,
+            MAX_HORIZON,
+        );
+        for seed in 0..50u64 {
+            let (kind, child) = mutate(&huge, seed);
+            if kind == MutationKind::SwapTopology {
+                assert!(child.topology.n_hint() <= MUTANT_N.1, "unclamped swap");
+            }
         }
     }
 

@@ -27,7 +27,7 @@ use crate::spec::ConfigSpec;
 use ssmdst_core::{build_network, churn, oracle, MdstNode};
 use ssmdst_graph::Graph;
 use ssmdst_sim::protocols::{flood_projection, Claim, FloodEcho};
-use ssmdst_sim::{Automaton, Corrupt, Digest, Network, NodeId};
+use ssmdst_sim::{Automaton, ChurnEvent, Corrupt, Digest, Network, NodeId};
 
 /// What a phase judge reports. Degree-shaped fields are zero/`None` for
 /// protocols without a tree notion; `ok` is the protocol's own quality
@@ -69,6 +69,13 @@ pub trait Protocol {
     /// capture everything "stabilized" is supposed to mean.
     type Proj: PartialEq;
 
+    /// Per-run judging state, threaded through every phase judgment of
+    /// one scenario execution. For MDST this is the incremental
+    /// certified-`Δ*` engine ([`ssmdst_core::churn::DeltaJudge`]) whose
+    /// basis survives across churn events; protocols with stateless
+    /// judges use `()`.
+    type Judge;
+
     /// Build the network a scenario describes over `g`.
     fn build(&self, g: &Graph, cfg: &ConfigSpec) -> Network<Self::Node>;
 
@@ -80,8 +87,21 @@ pub trait Protocol {
     /// traces pin it.
     fn fold_projection(proj: &Self::Proj, chain: &mut Digest);
 
+    /// Fresh judging state for one run, over the initial live topology.
+    fn new_judge(&self, net: &Network<Self::Node>, opts: &EngineOpts) -> Self::Judge;
+
+    /// Feed an applied churn event to the judging state (`net` already
+    /// reflects it) so the next [`Protocol::judge`] call is incremental.
+    /// Default: stateless judges ignore churn.
+    fn observe_churn(_judge: &mut Self::Judge, _net: &Network<Self::Node>, _ev: &ChurnEvent) {}
+
     /// Judge a stable phase component-wise against the live topology.
-    fn judge(&self, net: &Network<Self::Node>, opts: &EngineOpts) -> PhaseJudgment;
+    fn judge(
+        &self,
+        judge: &mut Self::Judge,
+        net: &Network<Self::Node>,
+        opts: &EngineOpts,
+    ) -> PhaseJudgment;
 
     /// Quality measure of the final configuration when the run ends on a
     /// single live component spanning the whole network (`None` when the
@@ -96,6 +116,7 @@ pub struct Mdst;
 impl Protocol for Mdst {
     type Node = MdstNode;
     type Proj = (Vec<NodeId>, Vec<u32>, Vec<u32>);
+    type Judge = churn::DeltaJudge;
 
     fn build(&self, g: &Graph, cfg: &ConfigSpec) -> Network<MdstNode> {
         build_network(g, cfg.build(g.n()))
@@ -119,8 +140,21 @@ impl Protocol for Mdst {
         }
     }
 
-    fn judge(&self, net: &Network<MdstNode>, opts: &EngineOpts) -> PhaseJudgment {
-        match churn::check_reconvergence(net, opts.delta_budget) {
+    fn new_judge(&self, net: &Network<MdstNode>, opts: &EngineOpts) -> churn::DeltaJudge {
+        churn::DeltaJudge::new(net, opts.delta_budget)
+    }
+
+    fn observe_churn(judge: &mut churn::DeltaJudge, net: &Network<MdstNode>, ev: &ChurnEvent) {
+        judge.observe_churn(net, ev);
+    }
+
+    fn judge(
+        &self,
+        judge: &mut churn::DeltaJudge,
+        net: &Network<MdstNode>,
+        _opts: &EngineOpts,
+    ) -> PhaseJudgment {
+        match judge.check(net) {
             Ok(reports) => {
                 let worst = reports.iter().max_by_key(|r| r.degree);
                 PhaseJudgment {
@@ -147,6 +181,7 @@ pub struct Flood;
 impl Protocol for Flood {
     type Node = FloodEcho;
     type Proj = Vec<Claim>;
+    type Judge = ();
 
     fn build(&self, g: &Graph, _cfg: &ConfigSpec) -> Network<FloodEcho> {
         // The flood has no ablation axis; every ConfigSpec maps to the one
@@ -166,7 +201,14 @@ impl Protocol for Flood {
         }
     }
 
-    fn judge(&self, net: &Network<FloodEcho>, _opts: &EngineOpts) -> PhaseJudgment {
+    fn new_judge(&self, _net: &Network<FloodEcho>, _opts: &EngineOpts) {}
+
+    fn judge(
+        &self,
+        _judge: &mut (),
+        net: &Network<FloodEcho>,
+        _opts: &EngineOpts,
+    ) -> PhaseJudgment {
         // The same live-component traversal the MDST judge uses
         // (`Network::live_components`), so the two judges can never
         // disagree on component structure.
@@ -202,20 +244,22 @@ mod tests {
             .horizon(1_000)
             .build();
         let opts = EngineOpts::default();
+        #[allow(clippy::let_unit_value)] // exercising the trait path: Flood's Judge is ()
+        let mut judge = Flood.new_judge(session.network(), &opts);
         // Before convergence: nodes still claim themselves — not ok.
-        let j = Flood.judge(session.network(), &opts);
+        let j = Flood.judge(&mut judge, session.network(), &opts);
         assert_eq!(j.components, 1);
         assert!(!j.ok, "initial configuration must not pass the judge");
         let out = session.run_to_quiescence(16, ssmdst_sim::protocols::flood_projection);
         assert!(out.converged());
-        let j = Flood.judge(session.network(), &opts);
+        let j = Flood.judge(&mut judge, session.network(), &opts);
         assert!(j.ok);
         // Partition into two arcs: two components, each electing its min.
         let _ = session.churn(&ChurnEvent::RemoveEdge(0, 1));
         let _ = session.churn(&ChurnEvent::RemoveEdge(4, 5));
         let out = session.run_to_quiescence(16, ssmdst_sim::protocols::flood_projection);
         assert!(out.converged());
-        let j = Flood.judge(session.network(), &opts);
+        let j = Flood.judge(&mut judge, session.network(), &opts);
         assert_eq!(j.components, 2);
         assert!(j.ok, "each side agrees on its own minimum");
         // Components are {0,5,6,7} (via the surviving 7–0 edge) and
@@ -235,7 +279,9 @@ mod tests {
             .build();
         let out = session.run_to_quiescence(ssmdst_sim::quiet_window(8), Mdst::project);
         assert!(out.converged());
-        let j = Mdst.judge(session.network(), &EngineOpts::default());
+        let opts = EngineOpts::default();
+        let mut judge = Mdst.new_judge(session.network(), &opts);
+        let j = Mdst.judge(&mut judge, session.network(), &opts);
         assert!(j.ok);
         assert_eq!(j.components, 1);
         assert!(j.degree <= 3);

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 use crate::automaton::Automaton;
+use crate::faults::ChurnEvent;
 use crate::network::Network;
 use crate::scheduler::Action;
 use crate::trace::Digest;
@@ -87,6 +88,13 @@ pub trait Observer<A: Automaton> {
     /// Called at driver-defined phase boundaries (e.g. a scenario event or
     /// a planned churn application) with a rendered label.
     fn on_phase(&mut self, _net: &Network<A>, _label: &str, _round: u64) {}
+
+    /// Called after a topology-churn event was applied ([`crate::Session::churn`]
+    /// or a planned [`crate::SessionBuilder::churn_at`] firing), with the
+    /// post-event network. This is the structured twin of the rendered
+    /// [`on_phase`](Observer::on_phase) label — incremental machinery (e.g.
+    /// a judge mirroring the live topology) keys off the event value.
+    fn on_churn(&mut self, _net: &Network<A>, _ev: &ChurnEvent, _round: u64) {}
 }
 
 /// The unit observer: observes nothing, never stops the run. Attaching it
@@ -116,6 +124,10 @@ impl<A: Automaton, O1: Observer<A>, O2: Observer<A>> Observer<A> for (O1, O2) {
         self.0.on_phase(net, label, round);
         self.1.on_phase(net, label, round);
     }
+    fn on_churn(&mut self, net: &Network<A>, ev: &ChurnEvent, round: u64) {
+        self.0.on_churn(net, ev, round);
+        self.1.on_churn(net, ev, round);
+    }
 }
 
 /// Borrowed observers observe too — lets a driver compose a transient
@@ -132,6 +144,9 @@ impl<A: Automaton, O: Observer<A>> Observer<A> for &mut O {
     }
     fn on_phase(&mut self, net: &Network<A>, label: &str, round: u64) {
         (**self).on_phase(net, label, round);
+    }
+    fn on_churn(&mut self, net: &Network<A>, ev: &ChurnEvent, round: u64) {
+        (**self).on_churn(net, ev, round);
     }
 }
 

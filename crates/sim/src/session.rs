@@ -217,6 +217,13 @@ impl<A: Automaton, O: Observer<A>> Session<A, O> {
         &mut self.obs
     }
 
+    /// Split borrow: the observer stack mutably alongside the network —
+    /// for observers that judge or index the current topology between
+    /// phases without cloning it.
+    pub fn observer_and_network(&mut self) -> (&mut O, &Network<A>) {
+        (&mut self.obs, self.runner.network())
+    }
+
     /// Completed rounds since the session (or resumed runner) started.
     pub fn round(&self) -> u64 {
         self.runner.round()
@@ -319,13 +326,15 @@ impl<A: Automaton, O: Observer<A>> Session<A, O> {
     }
 
     /// Apply one topology-churn event now (observers are notified via
-    /// [`Observer::on_phase`] with the event's rendered label). Returns
-    /// the number of in-flight messages dropped by the change.
+    /// [`Observer::on_phase`] with the event's rendered label and via
+    /// [`Observer::on_churn`] with the event itself). Returns the number
+    /// of in-flight messages dropped by the change.
     pub fn churn(&mut self, ev: &ChurnEvent) -> usize {
         let dropped = apply_churn(self.runner.network_mut(), ev);
         let label = ev.to_string();
         let round = self.runner.round();
         self.obs.on_phase(self.runner.network(), &label, round);
+        self.obs.on_churn(self.runner.network(), ev, round);
         dropped
     }
 
@@ -344,6 +353,7 @@ impl<A: Automaton, O: Observer<A>> Session<A, O> {
             let _ = apply_churn(self.runner.network_mut(), ev);
             let label = ev.to_string();
             self.obs.on_phase(self.runner.network(), &label, *at);
+            self.obs.on_churn(self.runner.network(), ev, *at);
             self.next_planned += 1;
         }
     }
@@ -471,6 +481,33 @@ mod tests {
             net.nodes().iter().map(|a| a.value).collect::<Vec<_>>()
         });
         assert!(out.converged());
+    }
+
+    /// `on_churn` fires with the structured event — post-application —
+    /// for both explicit and planned churn, and `observer_and_network`
+    /// hands the log back alongside the live topology.
+    #[test]
+    fn on_churn_hook_sees_explicit_and_planned_events() {
+        #[derive(Default)]
+        struct ChurnLog(Vec<(String, u64, usize)>);
+        impl Observer<MinFlood> for ChurnLog {
+            fn on_churn(&mut self, net: &Network<MinFlood>, ev: &ChurnEvent, round: u64) {
+                self.0.push((ev.to_string(), round, net.neighbors(2).len()));
+            }
+        }
+        let mut session = builder(6)
+            .churn_at(2, ChurnEvent::RemoveEdge(2, 3))
+            .observe(ChurnLog::default());
+        let _ = session.run_until(5, &mut ());
+        let _ = session.churn(&ChurnEvent::InsertEdge(2, 3));
+        let (obs, net) = session.observer_and_network();
+        assert_eq!(obs.0.len(), 2);
+        let planned = &obs.0[0];
+        assert_eq!(planned.0, "-edge(2,3)");
+        assert_eq!(planned.1, 2);
+        assert_eq!(planned.2, 1, "hook sees the post-event topology");
+        assert_eq!(obs.0[1].0, "+edge(2,3)");
+        assert_eq!(net.neighbors(2).len(), 2);
     }
 
     /// `swap_observer` keeps run state; `into_parts` returns both halves.

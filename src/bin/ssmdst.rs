@@ -408,8 +408,8 @@ fn cmd_storm(args: &[String]) -> ! {
     } else {
         None
     };
-    if let Some(dir) = out_dir {
-        std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
             eprintln!("error: creating {dir}: {e}");
             std::process::exit(2);
         });
@@ -457,6 +457,17 @@ fn cmd_storm(args: &[String]) -> ! {
         );
         println!("--- minimal .scn reproducer (save and run `ssmdst replay`) ---");
         print!("{}", failure.shrunk.canonical());
+        // Failure-mode fidelity: shrinking preserves the *predicate*, not
+        // necessarily the mechanism, so keep the mutant as executed too.
+        if let Some(dir) = &out_dir {
+            for (suffix, scenario) in [("failed", &failure.scenario), ("shrunk", &failure.shrunk)] {
+                let path = format!("{dir}/{}.{suffix}.scn", scenario.name);
+                std::fs::write(&path, scenario.canonical()).unwrap_or_else(|e| {
+                    eprintln!("error: writing {path}: {e}");
+                });
+                println!("wrote {path}");
+            }
+        }
         std::process::exit(1);
     }
     if report.admitted.len() < expect_admissions {

@@ -13,6 +13,10 @@
 //! * [`core`] — the protocol itself ([`ssmdst_core`]);
 //! * [`baselines`] — Fürer–Raghavachari, serialized-improvement and naive
 //!   tree baselines ([`ssmdst_baselines`]);
+//! * [`exact`] — the incremental exact-`Δ*` engine: a network-simplex
+//!   tree structure under a certified-interval solver, with witness
+//!   objects and an incremental re-solver for judging under churn
+//!   ([`ssmdst_exact`]);
 //! * [`scenario`] — declarative scenarios, bit-exact record-replay,
 //!   delta-debugging shrinker and campaign sweeps, generic over the
 //!   protocol registry ([`ssmdst_scenario`]; `ssmdst replay` /
@@ -24,7 +28,8 @@
 //!
 //! | paper concept | implementation |
 //! |---|---|
-//! | optimal degree `Δ*` (called `D*` in places) | [`graph::mdst_exact::exact_mdst`] (exact), [`graph::lower_bound::degree_lower_bound`] (witness bound) |
+//! | optimal degree `Δ*` (called `D*` in places) | [`exact::Solver`] (certified interval, any scale), [`graph::mdst_exact::exact_mdst`] (branch-and-bound oracle, small `n`) |
+//! | witness set `W` certifying `Δ* ≥ …` (Lemma 4) | [`exact::Witness`] (independent of the search that found it) |
 //! | spanning-tree rules R1/R2, min-ID root election | [`core::spanning_tree`] |
 //! | `dmax` propagation (PIF over the tree) | [`core::maxdeg`] |
 //! | fundamental-**cycle search** (DFS token per non-tree edge) | [`core::cycle_search`] |
@@ -82,6 +87,7 @@
 
 pub use ssmdst_baselines as baselines;
 pub use ssmdst_core as core;
+pub use ssmdst_exact as exact;
 pub use ssmdst_graph as graph;
 pub use ssmdst_scenario as scenario;
 pub use ssmdst_sim as sim;

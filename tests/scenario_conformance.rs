@@ -85,6 +85,44 @@ fn corpus_stabilizes_and_matches_fuerer_raghavachari() {
     }
 }
 
+/// Differential for the exact-`Δ*` engine over every corpus topology:
+/// at corpus scale the certified interval must settle, agree with the
+/// independent branch-and-bound oracle, carry a witness that re-verifies
+/// against the raw graph, and bracket the Fürer–Raghavachari tree
+/// (`Δ* ≤ deg(FR) ≤ Δ* + 1`).
+#[test]
+fn exact_engine_agrees_with_oracles_on_corpus_graphs() {
+    use ssmdst::exact::Solver;
+    use ssmdst::graph::{exact_mdst, SolveBudget};
+
+    let solver = Solver::builder().settle_max_n(256).build();
+    for scenario in corpus::corpus() {
+        let g = scenario.topology.build();
+        let sol = solver.solve(&g);
+        assert!(sol.exact(), "{}: corpus-scale graphs settle", scenario.name);
+        let oracle = exact_mdst(&g, SolveBudget::default())
+            .delta_star()
+            .expect("corpus graphs are tiny; the oracle always finishes");
+        assert_eq!(
+            sol.lower, oracle,
+            "{}: engine vs branch-and-bound",
+            scenario.name
+        );
+        assert!(
+            sol.witness.certifies(&g) >= sol.lower.saturating_sub(1),
+            "{}: witness must re-verify independently",
+            scenario.name
+        );
+        let fr = fr_degree(&g);
+        assert!(
+            oracle <= fr && fr <= oracle + 1,
+            "{}: FR tree degree {fr} outside [{oracle}, {}]",
+            scenario.name,
+            oracle + 1
+        );
+    }
+}
+
 /// The shrinker acceptance contract end-to-end: a seeded injected failure
 /// (a spider's tree degree is its leg count at every size) reduces to a
 /// strictly smaller scenario that still fails, with everything irrelevant

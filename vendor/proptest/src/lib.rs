@@ -5,7 +5,8 @@
 //!   header) generating one `#[test]` per property;
 //! * [`prop_assert!`] / [`prop_assert_eq!`];
 //! * range strategies, tuple strategies (arity 2–4),
-//!   [`strategy::Strategy::prop_map`], and [`collection::vec`].
+//!   [`strategy::Strategy::prop_map`], [`collection::vec`], and the
+//!   weighted [`prop_oneof!`] union.
 //!
 //! Unlike real proptest there is **no shrinking**: a failing case reports
 //! its case index and panics. Every test's RNG is seeded from an FNV-1a
@@ -87,6 +88,45 @@ pub mod strategy {
         type Value = f64;
         fn generate(&self, rng: &mut StdRng) -> f64 {
             rng.random_range(self.clone())
+        }
+    }
+
+    /// Weighted union over strategies sharing one value type — the
+    /// expansion target of [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from `(weight, strategy)` pairs. Panics on an empty list
+        /// or an all-zero weight sum — a misconstructed test, not input.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            assert!(
+                options.iter().map(|(w, _)| *w as u64).sum::<u64>() > 0,
+                "prop_oneof! needs at least one positive weight"
+            );
+            Union { options }
+        }
+    }
+
+    /// Coercion helper for the [`prop_oneof!`](crate::prop_oneof)
+    /// expansion (an `as`-cast cannot name an inferred value type).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.random_range(0..total);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("pick < total by construction")
         }
     }
 
@@ -185,6 +225,21 @@ pub fn rng_for(test_path: &str) -> StdRng {
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
     }
     StdRng::seed_from_u64(h)
+}
+
+/// `prop_oneof![w1 => s1, w2 => s2, ...]` (or unweighted
+/// `prop_oneof![s1, s2, ...]`): draw from one of several strategies with
+/// a common value type, chosen with probability proportional to weight.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 #[macro_export]
@@ -287,7 +342,7 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
 #[cfg(test)]
@@ -320,6 +375,21 @@ mod tests {
             for e in v {
                 prop_assert!((0..5).contains(&e), "element {} out of range", e);
             }
+        }
+
+        #[test]
+        fn oneof_draws_every_arm_and_respects_zero_weight(
+            v in collection::vec(
+                prop_oneof![
+                    3 => (0u32..1).prop_map(|_| 10u32),
+                    1 => Just(20u32),
+                    0 => Just(99u32),
+                ],
+                64..65,
+            ),
+        ) {
+            prop_assert!(v.iter().all(|&x| x == 10 || x == 20), "zero-weight arm drawn");
+            prop_assert!(v.contains(&10), "dominant arm never drawn in 64 draws");
         }
 
         #[test]
